@@ -1,0 +1,216 @@
+// EXT1 — L2 attack × switch protection matrix (extension beyond the
+// paper's ARP focus): MAC flooding (CAM exhaustion -> fail-open
+// eavesdropping), MAC cloning (port stealing), and DHCP starvation,
+// evaluated against a plain switch, port security (sticky), and DAI.
+// Completes the defense-in-depth picture: DAI owns the ARP plane, port
+// security owns the source-address plane, and neither substitutes for the
+// other.
+
+#include <cstdio>
+
+#include "attack/attacker.hpp"
+#include "core/report.hpp"
+#include "host/apps.hpp"
+#include "host/dhcp_server.hpp"
+#include "host/host.hpp"
+#include "l2/switch.hpp"
+#include "sim/network.hpp"
+
+using namespace arpsec;
+using common::Duration;
+using common::SimTime;
+using wire::Ipv4Address;
+using wire::MacAddress;
+
+namespace {
+
+enum class Protection { kPlain, kPortSecurity, kDai };
+enum class L2Attack { kMacFlood, kMacClone, kDhcpStarvation };
+
+const char* name_of(Protection p) {
+    switch (p) {
+        case Protection::kPlain: return "plain switch";
+        case Protection::kPortSecurity: return "port-security (sticky)";
+        case Protection::kDai: return "dai+snooping";
+    }
+    return "?";
+}
+
+const char* name_of(L2Attack a) {
+    switch (a) {
+        case L2Attack::kMacFlood: return "mac-flood";
+        case L2Attack::kMacClone: return "mac-clone";
+        case L2Attack::kDhcpStarvation: return "dhcp-starvation";
+    }
+    return "?";
+}
+
+struct Outcome {
+    bool attack_worked = false;
+    std::string evidence;
+    std::size_t switch_alerts = 0;
+};
+
+Outcome run_case(L2Attack attack, Protection protection) {
+    sim::Network net(3);
+    // Short CAM aging compresses the attacker's wait for legitimate
+    // entries to age out of a saturated table (real campaigns simply run
+    // longer than the 300 s default).
+    l2::CamConfig cam;
+    cam.aging = Duration::seconds(10);
+    auto& sw = net.emplace_node<l2::Switch>("switch", 8, cam);
+
+    // Gateway with DHCP server (small pool so starvation bites quickly).
+    host::HostConfig gw_cfg;
+    gw_cfg.name = "gateway";
+    gw_cfg.mac = MacAddress::local(1);
+    gw_cfg.static_ip = Ipv4Address{192, 168, 1, 1};
+    auto& gateway = net.emplace_node<host::Host>(gw_cfg);
+    net.connect({gateway.id(), 0}, {sw.id(), 0});
+    host::DhcpServer::Config dhcp_cfg;
+    dhcp_cfg.pool_size = 8;
+    dhcp_cfg.lease_seconds = 600;
+    host::DhcpServer dhcp(gateway, dhcp_cfg);
+
+    // Victim and a peer that keeps sending it traffic.
+    host::HostConfig vcfg;
+    vcfg.name = "victim";
+    vcfg.mac = MacAddress::local(10);
+    vcfg.static_ip = Ipv4Address{192, 168, 1, 10};
+    auto& victim = net.emplace_node<host::Host>(vcfg);
+    net.connect({victim.id(), 0}, {sw.id(), 1});
+
+    host::HostConfig pcfg;
+    pcfg.name = "peer";
+    pcfg.mac = MacAddress::local(11);
+    pcfg.static_ip = Ipv4Address{192, 168, 1, 11};
+    auto& peer = net.emplace_node<host::Host>(pcfg);
+    net.connect({peer.id(), 0}, {sw.id(), 2});
+
+    host::DeliveryLedger ledger;
+    host::UdpSinkApp sink(victim, 7000, &ledger);
+    host::TrafficApp traffic(peer, ledger,
+                             {{1, Ipv4Address{192, 168, 1, 10}, 7000, Duration::millis(50)}});
+
+    attack::Attacker::Config acfg;
+    acfg.mac = MacAddress::local(0x666);
+    auto& attacker = net.emplace_node<attack::Attacker>(acfg);
+    net.connect({attacker.id(), 0}, {sw.id(), 3});
+
+    switch (protection) {
+        case Protection::kPlain:
+            break;
+        case Protection::kPortSecurity: {
+            l2::PortSecurityConfig ps;
+            ps.enabled = true;
+            ps.max_macs_per_port = 1;
+            ps.sticky = true;
+            sw.set_port_security(ps);
+            sw.set_trusted_port(0, true);  // gateway uplink
+            break;
+        }
+        case Protection::kDai: {
+            sw.enable_dhcp_snooping({0});
+            l2::ArpInspectionConfig dai;
+            dai.enabled = true;
+            dai.err_disable_on_rate = false;
+            sw.enable_arp_inspection(dai);
+            // Static hosts are bound statically, as an admin would.
+            sw.add_static_binding(Ipv4Address{192, 168, 1, 1}, MacAddress::local(1), 0);
+            sw.add_static_binding(Ipv4Address{192, 168, 1, 10}, MacAddress::local(10), 1);
+            sw.add_static_binding(Ipv4Address{192, 168, 1, 11}, MacAddress::local(11), 2);
+            break;
+        }
+    }
+
+    net.start_all();
+    auto& sched = net.scheduler();
+    sched.run_until(SimTime::zero() + Duration::seconds(5));
+
+    // Snapshot pre-attack state.
+    const auto flow_before = ledger.flow_stats(1);
+
+    Outcome out;
+    switch (attack) {
+        case L2Attack::kMacFlood:
+            // Sustained flood: keeps the table saturated across the aging
+            // period so the victim's entry cannot be re-learned.
+            attacker.start_mac_flood(60'000, 2'000.0);
+            break;
+        case L2Attack::kMacClone:
+            attacker.start_mac_clone(victim.mac(), Duration::millis(20));
+            break;
+        case L2Attack::kDhcpStarvation:
+            // Sustained starvation across the late client's join attempt.
+            attacker.start_dhcp_starvation(3000, 100.0);
+            break;
+    }
+    sched.run_until(SimTime::zero() + Duration::seconds(25));
+
+    const auto flow_after = ledger.flow_stats(1);
+    const auto sent = flow_after.sent - flow_before.sent;
+    const auto delivered = flow_after.delivered - flow_before.delivered;
+
+    switch (attack) {
+        case L2Attack::kMacFlood: {
+            // Success = the attacker sniffed unicast traffic meant for the
+            // victim (fail-open flooding).
+            out.attack_worked = attacker.stats().frames_sniffed > 20;
+            out.evidence = "sniffed " + std::to_string(attacker.stats().frames_sniffed) +
+                           " frames, CAM " + std::to_string(sw.cam().size()) + " entries";
+            break;
+        }
+        case L2Attack::kMacClone: {
+            const double ratio =
+                sent == 0 ? 1.0 : static_cast<double>(delivered) / static_cast<double>(sent);
+            out.attack_worked = ratio < 0.5 && attacker.stats().frames_sniffed > 10;
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "victim delivery %.0f%%, sniffed %llu",
+                          ratio * 100.0,
+                          (unsigned long long)attacker.stats().frames_sniffed);
+            out.evidence = buf;
+            break;
+        }
+        case L2Attack::kDhcpStarvation: {
+            // A legitimate client tries to join mid-starvation.
+            host::HostConfig ccfg;
+            ccfg.name = "late-client";
+            ccfg.mac = MacAddress::local(99);
+            auto& client = net.emplace_node<host::Host>(ccfg);
+            net.connect({client.id(), 0}, {sw.id(), 4});
+            sched.run_until(SimTime::zero() + Duration::seconds(33));
+            out.attack_worked = !client.has_ip();
+            out.evidence = std::string("late client ") +
+                           (client.has_ip() ? "got a lease" : "DENIED a lease") +
+                           ", pool exhaustions " + std::to_string(dhcp.stats().pool_exhausted);
+            break;
+        }
+    }
+    out.switch_alerts = sw.events().size();
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    core::TextTable table(
+        "EXT1 — L2 attacks vs switch protections (beyond the ARP plane)");
+    table.set_headers({"attack", "protection", "attack works", "evidence", "switch events"});
+    for (auto attack :
+         {L2Attack::kMacFlood, L2Attack::kMacClone, L2Attack::kDhcpStarvation}) {
+        for (auto protection :
+             {Protection::kPlain, Protection::kPortSecurity, Protection::kDai}) {
+            const Outcome out = run_case(attack, protection);
+            table.add_row({name_of(attack), name_of(protection),
+                           out.attack_worked ? "YES" : "no", out.evidence,
+                           std::to_string(out.switch_alerts)});
+        }
+    }
+    table.print();
+
+    std::puts("");
+    std::puts("Reading: DAI is scoped to ARP claims — it stops none of these three,");
+    std::puts("while sticky port security stops all of them (and, from T2, none of");
+    std::puts("the ARP poisoning). The two are complements, not alternatives.");
+    return 0;
+}

@@ -1,0 +1,155 @@
+// EXT3 — What a successful ARP MITM buys the adversary at L4: with the
+// relay in place the attacker reads every TCP sequence number and can kill
+// sessions at will with in-window RST injection (the connection-hijacking
+// arm of the attack taxonomy). The same experiment under an ARP prevention
+// scheme shows the capability disappearing with the MITM position.
+
+#include <cstdio>
+#include <memory>
+
+#include "attack/attacker.hpp"
+#include "core/report.hpp"
+#include "detect/antidote.hpp"
+#include "detect/registry.hpp"
+#include "host/tcp.hpp"
+#include "l2/switch.hpp"
+#include "sim/network.hpp"
+
+using namespace arpsec;
+using common::Duration;
+using common::SimTime;
+using wire::Bytes;
+using wire::Ipv4Address;
+using wire::MacAddress;
+
+namespace {
+
+struct Outcome {
+    int attempted = 0;
+    int completed = 0;  // all records echoed, orderly close
+    int reset = 0;      // killed by an injected RST
+    std::uint64_t rsts_injected = 0;
+    std::uint64_t intercepted = 0;
+};
+
+Outcome run_case(const std::string& scheme_name) {
+    sim::Network net(11);
+    auto& sw = net.emplace_node<l2::Switch>("switch", 8);
+
+    const Ipv4Address client_ip{192, 168, 1, 10};
+    const Ipv4Address server_ip{192, 168, 1, 20};
+
+    host::HostConfig ccfg;
+    ccfg.name = "client";
+    ccfg.mac = MacAddress::local(10);
+    ccfg.static_ip = client_ip;
+    auto& client_host = net.emplace_node<host::Host>(ccfg);
+    net.connect({client_host.id(), 0}, {sw.id(), 0});
+
+    host::HostConfig scfg;
+    scfg.name = "server";
+    scfg.mac = MacAddress::local(20);
+    scfg.static_ip = server_ip;
+    auto& server_host = net.emplace_node<host::Host>(scfg);
+    net.connect({server_host.id(), 0}, {sw.id(), 1});
+
+    attack::Attacker::Config acfg;
+    acfg.mac = MacAddress::local(0x666);
+    auto& attacker = net.emplace_node<attack::Attacker>(acfg);
+    net.connect({attacker.id(), 0}, {sw.id(), 2});
+
+    // Deploy the protection under test.
+    std::unique_ptr<detect::Scheme> scheme = detect::make_scheme(scheme_name);
+    detect::AlertSink alerts;
+    crypto::OpCounters ops;
+    sim::PortId next_port = 3;
+    detect::DeploymentContext ctx;
+    ctx.net = &net;
+    ctx.fabric = &sw;
+    ctx.alerts = &alerts;
+    ctx.ops = &ops;
+    ctx.directory = {{"client", client_ip, client_host.mac()},
+                     {"server", server_ip, server_host.mac()}};
+    ctx.attach_infra = [&](sim::NodeId id) {
+        const sim::PortId port = next_port++;
+        net.connect({id, 0}, {sw.id(), port});
+        sw.set_trusted_port(port, true);
+        return port;
+    };
+    std::uint32_t infra = 0;
+    ctx.alloc_infra_ip = [&] {
+        return Ipv4Address{192, 168, 1, static_cast<std::uint8_t>(240 + infra++)};
+    };
+    scheme->deploy(ctx);
+    scheme->configure_switch(sw);
+    scheme->protect_host(client_host);
+    scheme->protect_host(server_host);
+
+    host::TcpStack client(client_host);
+    host::TcpStack server(server_host);
+
+    // Echo server.
+    server.listen(80, [](host::TcpStack::Connection& c) {
+        c.on_data = [&c](const Bytes& d) { c.send(d); };
+    });
+
+    net.start_all();
+    auto& sched = net.scheduler();
+    sched.run_until(SimTime::zero() + Duration::seconds(2));
+
+    // The MITM position + RST injection.
+    attacker.start_mitm(client_ip, client_host.mac(), server_ip, server_host.mac(),
+                        Duration::seconds(1));
+    attacker.enable_tcp_rst_injection();
+
+    Outcome out;
+    constexpr int kConnections = 10;
+    constexpr int kRecords = 5;
+
+    for (int i = 0; i < kConnections; ++i) {
+        ++out.attempted;
+        auto state = std::make_shared<int>(0);  // echoed records
+        auto was_reset = std::make_shared<bool>(false);
+        client.connect(server_ip, 80, [&, state, was_reset](host::TcpStack::Connection& c) {
+            c.on_data = [state, &c](const Bytes&) {
+                if (++*state >= kRecords) c.close();
+            };
+            c.on_reset = [was_reset] { *was_reset = true; };
+            for (int r = 0; r < kRecords; ++r) c.send({static_cast<std::uint8_t>(r)});
+        });
+        sched.run_until(net.now() + Duration::seconds(2));
+        if (*was_reset) {
+            ++out.reset;
+        } else if (*state >= kRecords) {
+            ++out.completed;
+        }
+    }
+
+    out.rsts_injected = attacker.stats().tcp_rsts_injected;
+    out.intercepted = attacker.stats().frames_intercepted;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    core::TextTable table(
+        "EXT3 — TCP session resets through an ARP MITM, per protection scheme");
+    table.set_headers({"protection", "connections", "completed", "killed by RST",
+                       "RSTs injected", "frames intercepted"});
+    for (const std::string name : {"none", "antidote", "dai-static", "s-arp"}) {
+        const Outcome out = run_case(name);
+        table.add_row({name, std::to_string(out.attempted), std::to_string(out.completed),
+                       std::to_string(out.reset), std::to_string(out.rsts_injected),
+                       std::to_string(out.intercepted)});
+    }
+    table.print();
+
+    std::puts("");
+    std::puts("Reading: with classic ARP every session dies within one round trip of");
+    std::puts("carrying data — the attacker shadows each relayed segment with exact");
+    std::puts("in-window RSTs. Every ARP-prevention scheme (host patch, switch DAI,");
+    std::puts("signed ARP) removes the MITM position and with it the whole L4 attack");
+    std::puts("surface: sessions complete untouched and nothing is intercepted.");
+    return 0;
+}

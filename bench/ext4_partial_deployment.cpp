@@ -1,0 +1,144 @@
+// EXT4 — Partial deployment: how much protection survives when Dynamic ARP
+// Inspection is rolled out on only part of a two-switch fabric. The victim
+// pair lives on the edge switch; the attacker too. Four deployments are
+// compared: none, core-only, edge-only, and full. The deployability point:
+// ARP protection must sit on the attacker's *access* switch — a protected
+// core cannot see edge-local forgeries.
+
+#include <cstdio>
+
+#include "attack/attacker.hpp"
+#include "core/report.hpp"
+#include "host/apps.hpp"
+#include "host/host.hpp"
+#include "l2/switch.hpp"
+#include "sim/network.hpp"
+
+using namespace arpsec;
+using common::Duration;
+using common::SimTime;
+using wire::Ipv4Address;
+using wire::MacAddress;
+
+namespace {
+
+enum class Deployment { kNone, kCoreOnly, kEdgeOnly, kFull };
+
+const char* name_of(Deployment d) {
+    switch (d) {
+        case Deployment::kNone: return "no DAI";
+        case Deployment::kCoreOnly: return "core switch only";
+        case Deployment::kEdgeOnly: return "edge switch only";
+        case Deployment::kFull: return "both switches";
+    }
+    return "?";
+}
+
+struct Outcome {
+    double interception = 0.0;
+    bool poisoned = false;
+    std::size_t dai_drops = 0;
+};
+
+Outcome run_case(Deployment deployment) {
+    sim::Network net(17);
+    auto& core = net.emplace_node<l2::Switch>("core", 6);
+    auto& edge = net.emplace_node<l2::Switch>("edge", 6);
+    net.connect({core.id(), 5}, {edge.id(), 5});
+
+    const Ipv4Address victim_ip{192, 168, 1, 20};
+    const Ipv4Address peer_ip{192, 168, 1, 21};
+
+    const auto add_host = [&](l2::Switch& sw, sim::PortId port, const char* name,
+                              std::uint64_t mac_id, Ipv4Address ip) -> host::Host& {
+        host::HostConfig cfg;
+        cfg.name = name;
+        cfg.mac = MacAddress::local(mac_id);
+        cfg.static_ip = ip;
+        host::Host& h = net.emplace_node<host::Host>(cfg);
+        net.connect({h.id(), 0}, {sw.id(), port});
+        return h;
+    };
+
+    host::Host& a0 = add_host(core, 0, "a0", 1, Ipv4Address{192, 168, 1, 10});
+    (void)a0;
+    host::Host& victim = add_host(edge, 0, "victim", 3, victim_ip);
+    host::Host& peer = add_host(edge, 1, "peer", 4, peer_ip);
+
+    attack::Attacker::Config acfg;
+    acfg.mac = MacAddress::local(0x666);
+    auto& attacker = net.emplace_node<attack::Attacker>(acfg);
+    net.connect({attacker.id(), 0}, {edge.id(), 2});
+
+    const auto protect = [&](l2::Switch& sw) {
+        sw.enable_dhcp_snooping({});
+        l2::ArpInspectionConfig dai;
+        dai.enabled = true;
+        dai.err_disable_on_rate = false;
+        sw.enable_arp_inspection(dai);
+        sw.add_static_binding(Ipv4Address{192, 168, 1, 10}, MacAddress::local(1),
+                              l2::Switch::kAnyPort);
+        sw.add_static_binding(victim_ip, MacAddress::local(3), l2::Switch::kAnyPort);
+        sw.add_static_binding(peer_ip, MacAddress::local(4), l2::Switch::kAnyPort);
+        // The inter-switch uplink must stay untrusted for DAI to matter,
+        // but the peer switch's legitimate traffic flows through it: DAI
+        // validates it against the bindings above.
+    };
+    if (deployment == Deployment::kCoreOnly || deployment == Deployment::kFull) protect(core);
+    if (deployment == Deployment::kEdgeOnly || deployment == Deployment::kFull) protect(edge);
+
+    host::DeliveryLedger ledger;
+    host::UdpSinkApp sink(peer, 7000, &ledger);
+    host::TrafficApp traffic(victim, ledger,
+                             {{1, peer_ip, 7000, Duration::millis(100)}});
+
+    net.start_all();
+    auto& sched = net.scheduler();
+    sched.run_until(SimTime::zero() + Duration::seconds(5));
+
+    attacker.enable_relay(&ledger);
+    attacker.start_mitm(victim_ip, victim.mac(), peer_ip, peer.mac(), Duration::seconds(2));
+    const auto before = ledger.flow_stats(1);
+    sched.run_until(SimTime::zero() + Duration::seconds(30));
+    const auto after = ledger.flow_stats(1);
+
+    Outcome out;
+    const auto sent = after.sent - before.sent;
+    out.interception =
+        sent == 0 ? 0.0
+                  : static_cast<double>(after.intercepted - before.intercepted) /
+                        static_cast<double>(sent);
+    if (const auto e = victim.arp_cache().peek(peer_ip)) {
+        out.poisoned = e->mac == attacker.mac();
+    }
+    for (const auto& ev : core.events()) {
+        if (ev.kind == l2::SwitchEventKind::kDaiDrop) ++out.dai_drops;
+    }
+    for (const auto& ev : edge.events()) {
+        if (ev.kind == l2::SwitchEventKind::kDaiDrop) ++out.dai_drops;
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    core::TextTable table(
+        "EXT4 — Partial DAI deployment on a two-switch fabric (edge-local MITM)");
+    table.set_headers({"deployment", "victim flow intercepted", "victim poisoned",
+                       "DAI drops"});
+    for (auto d : {Deployment::kNone, Deployment::kCoreOnly, Deployment::kEdgeOnly,
+                   Deployment::kFull}) {
+        const Outcome out = run_case(d);
+        table.add_row({name_of(d), core::fmt_percent(out.interception),
+                       core::fmt_bool(out.poisoned), std::to_string(out.dai_drops)});
+    }
+    table.print();
+
+    std::puts("");
+    std::puts("Reading: the attack is local to the edge switch, so DAI on the core");
+    std::puts("alone changes nothing — its vantage never sees the forgery. Edge (or");
+    std::puts("full) deployment stops it. ARP protection must cover the attacker's");
+    std::puts("access layer; a hardened core is deployment theater for this threat.");
+    return 0;
+}

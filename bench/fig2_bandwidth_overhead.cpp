@@ -1,0 +1,76 @@
+// F2 — Bandwidth overhead vs LAN size: total and ARP bytes on the wire in
+// an identical benign run, per scheme, for n = 8..64 hosts. Shows how the
+// control-plane overhead of each scheme scales with the station count.
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "detect/registry.hpp"
+
+using namespace arpsec;
+
+namespace {
+
+core::ScenarioConfig config(const std::string& scheme_name, std::size_t hosts) {
+    core::ScenarioConfig cfg;
+    cfg.seed = 5;
+    cfg.host_count = hosts;
+    cfg.addressing =
+        scheme_name == "dai" || scheme_name == "lease-monitor"
+            ? core::Addressing::kDhcp
+            : core::Addressing::kStatic;
+    cfg.attack = core::AttackKind::kNone;
+    cfg.duration = common::Duration::seconds(30);
+    cfg.attack_start = common::Duration::seconds(10);
+    cfg.attack_stop = common::Duration::seconds(25);
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<std::size_t> sizes = {8, 16, 32, 64};
+    const std::vector<std::string> schemes = {"none", "arpwatch", "middleware",
+                                              "dai", "tarp", "s-arp"};
+
+    // Baselines per size for the overhead column — matched on addressing
+    // mode, so DAI (which needs DHCP) is compared against a DHCP baseline.
+    std::vector<std::uint64_t> baseline_static;
+    std::vector<std::uint64_t> baseline_dhcp;
+    for (std::size_t n : sizes) {
+        auto s1 = detect::make_scheme("none");
+        baseline_static.push_back(
+            core::ScenarioRunner::run_scheme(config("none", n), *s1).total_bytes);
+        auto s2 = detect::make_scheme("none");
+        auto dhcp_cfg = config("none", n);
+        dhcp_cfg.addressing = core::Addressing::kDhcp;
+        baseline_dhcp.push_back(
+            core::ScenarioRunner::run_scheme(dhcp_cfg, *s2).total_bytes);
+    }
+
+    core::TextTable table("F2 — Bytes on the wire (benign 30 s run) vs LAN size");
+    table.set_headers({"scheme", "hosts", "total bytes", "ARP bytes", "ARP frames",
+                       "overhead vs none"});
+    for (const auto& name : schemes) {
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            auto scheme = detect::make_scheme(name);
+            const auto r = core::ScenarioRunner::run_scheme(config(name, sizes[i]), *scheme);
+            const std::uint64_t base =
+                name == "dai" ? baseline_dhcp[i] : baseline_static[i];
+            const double overhead =
+                static_cast<double>(r.total_bytes) / static_cast<double>(base) - 1.0;
+            table.add_row({name, std::to_string(sizes[i]), std::to_string(r.total_bytes),
+                           std::to_string(r.arp_bytes), std::to_string(r.arp_frames),
+                           core::fmt_percent(overhead)});
+        }
+    }
+    table.print();
+
+    std::puts("");
+    std::puts("Reading: passive monitoring is free on the wire; mirroring aside,");
+    std::puts("signed ARP roughly doubles ARP bytes (auth trailers) and S-ARP adds");
+    std::puts("AKD key-fetch traffic; middleware adds one broadcast verification");
+    std::puts("per new binding. Absolute ARP volume is small next to data traffic.");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// F3 — Detection latency and alert volume vs attack aggressiveness: how
+// fast each *detector* notices a MITM whose poison re-send interval is
+// swept from 100 ms to 10 s. Passive detectors can only react when the
+// attacker transmits, so their latency tracks the re-poison period.
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "detect/registry.hpp"
+
+using namespace arpsec;
+
+namespace {
+
+core::ScenarioConfig config(common::Duration repoison, std::uint64_t seed) {
+    core::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.host_count = 8;
+    cfg.addressing = core::Addressing::kStatic;
+    cfg.attack = core::AttackKind::kMitm;
+    cfg.duration = common::Duration::seconds(60);
+    cfg.attack_start = common::Duration::seconds(20);
+    cfg.attack_stop = common::Duration::seconds(50);
+    cfg.repoison_period = repoison;
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<common::Duration> periods = {
+        common::Duration::millis(100), common::Duration::millis(500),
+        common::Duration::seconds(2), common::Duration::seconds(10)};
+    const std::vector<std::string> detectors = {"arpwatch", "snort-arpspoof", "active-probe",
+                                                "anticap", "antidote", "dai-static"};
+
+    core::TextTable table("F3 — Detection latency vs poison re-send interval (MITM)");
+    table.set_headers({"scheme", "repoison", "first alert after", "TP alerts", "intercepted"});
+    for (const auto& name : detectors) {
+        for (const auto period : periods) {
+            auto scheme = detect::make_scheme(name);
+            const auto r = core::ScenarioRunner::run_scheme(config(period, 21), *scheme);
+            table.add_row(
+                {name, period.to_string(),
+                 r.alerts.detection_latency ? r.alerts.detection_latency->to_string() : "n/a",
+                 std::to_string(r.alerts.true_positives),
+                 core::fmt_percent(r.attack_window.interception_ratio())});
+        }
+    }
+    table.print();
+
+    std::puts("");
+    std::puts("Reading: detection latency is dominated by the attacker's first");
+    std::puts("poison frame reaching the vantage point — microseconds for every");
+    std::puts("scheme here. Alert volume scales with re-poison rate for per-packet");
+    std::puts("detectors, while active-probe's backoff keeps it bounded.");
+    return 0;
+}

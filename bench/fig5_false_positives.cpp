@@ -1,0 +1,95 @@
+// F5 — False positives under benign churn: the paper's central detection
+// trade-off. Every scheme observes the same attack-free runs containing
+// legitimate rebinding events (DHCP address recycling with short leases,
+// and a NIC replacement on a statically addressed LAN); each alert raised
+// is a false alarm. Swept over lease times to show the churn-rate effect.
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "detect/registry.hpp"
+
+using namespace arpsec;
+
+namespace {
+
+core::ScenarioConfig dhcp_churn_config(std::uint32_t lease_seconds, std::uint64_t seed) {
+    core::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.host_count = 6;
+    cfg.addressing = core::Addressing::kDhcp;
+    cfg.attack = core::AttackKind::kNone;
+    cfg.duration = common::Duration::seconds(60);
+    cfg.attack_start = common::Duration::seconds(20);
+    cfg.attack_stop = common::Duration::seconds(50);
+    cfg.churn.dhcp_recycles = 3;
+    cfg.lease_seconds = lease_seconds;
+    return cfg;
+}
+
+core::ScenarioConfig nic_swap_config(std::uint64_t seed) {
+    core::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.host_count = 6;
+    cfg.addressing = core::Addressing::kStatic;
+    cfg.attack = core::AttackKind::kNone;
+    cfg.duration = common::Duration::seconds(60);
+    cfg.attack_start = common::Duration::seconds(20);
+    cfg.attack_stop = common::Duration::seconds(50);
+    cfg.churn.nic_swap = true;
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<std::string> schemes = {"arpwatch",   "snort-arpspoof", "active-probe",
+                                              "anticap",    "antidote",       "middleware",
+                                              "gossip",     "lease-monitor",  "dai"};
+
+    {
+        core::TextTable table(
+            "F5a — False positives, DHCP churn (3 recycled stations per run)");
+        table.set_headers({"scheme", "lease 60s", "lease 120s", "lease 600s"});
+        for (const auto& name : schemes) {
+            std::vector<std::string> row{name};
+            for (std::uint32_t lease : {60u, 120u, 600u}) {
+                auto scheme = detect::make_scheme(name);
+                const auto r =
+                    core::ScenarioRunner::run_scheme(dhcp_churn_config(lease, 31), *scheme);
+                row.push_back(std::to_string(r.alerts.false_positives));
+            }
+            table.add_row(std::move(row));
+        }
+        table.print();
+    }
+
+    std::puts("");
+    {
+        core::TextTable table("F5b — False positives, NIC replacement (static addressing)");
+        table.set_headers({"scheme", "false positives", "notes"});
+        for (const auto& name : schemes) {
+            if (name == "dai" || name == "lease-monitor") continue;  // need DHCP
+            auto scheme = detect::make_scheme(name);
+            const auto r = core::ScenarioRunner::run_scheme(nic_swap_config(32), *scheme);
+            std::string note;
+            if (name == "arpwatch") note = "flags the legitimate change";
+            if (name == "snort-arpspoof") note = "stale table alarms forever";
+            if (name == "active-probe") note = "probe times out -> absorbed";
+            if (name == "anticap") note = "blocks the legit rebind too";
+            if (name == "antidote") note = "probe times out -> accepted";
+            if (name == "middleware") note = "single claimant -> admitted";
+            if (name == "gossip") note = "stale peer caches disagree briefly";
+            table.add_row({name, std::to_string(r.alerts.false_positives), note});
+        }
+        table.print();
+    }
+
+    std::puts("");
+    std::puts("Reading: table-and-database detectors (arpwatch, snort) cannot tell");
+    std::puts("legitimate rebinding from an attack; verification-based schemes");
+    std::puts("(active-probe, antidote, middleware) absorb churn without alarms,");
+    std::puts("and anticap trades its false alarms for broken connectivity.");
+    return 0;
+}

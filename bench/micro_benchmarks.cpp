@@ -1,0 +1,193 @@
+// Microbenchmarks (google-benchmark) for the framework's hot paths:
+// crypto primitives, wire codecs, ARP cache and CAM operations, switch
+// forwarding, and whole-scenario simulation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "arp/cache.hpp"
+#include "core/runner.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "detect/registry.hpp"
+#include "l2/cam_table.hpp"
+#include "wire/arp_packet.hpp"
+#include "wire/dhcp_message.hpp"
+#include "wire/ethernet.hpp"
+#include "wire/ipv4_packet.hpp"
+
+using namespace arpsec;
+
+// ---------------------------------------------------------------------------
+// Crypto
+// ---------------------------------------------------------------------------
+
+static void BM_Sha256(benchmark::State& state) {
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xAB);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(28)->Arg(64)->Arg(1500);
+
+static void BM_HmacSha256(benchmark::State& state) {
+    std::vector<std::uint8_t> key(32, 0x11);
+    std::vector<std::uint8_t> msg(64, 0x22);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::hmac_sha256(key, msg));
+    }
+}
+BENCHMARK(BM_HmacSha256);
+
+static void BM_SchnorrSign(benchmark::State& state) {
+    const auto kp = crypto::KeyPair::derive(7);
+    std::vector<std::uint8_t> msg(36, 0x33);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kp.sign(msg));
+    }
+}
+BENCHMARK(BM_SchnorrSign);
+
+static void BM_SchnorrVerify(benchmark::State& state) {
+    const auto kp = crypto::KeyPair::derive(7);
+    std::vector<std::uint8_t> msg(36, 0x33);
+    const auto sig = kp.sign(msg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kp.public_key().verify(msg, sig));
+    }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------------
+
+static void BM_ArpSerializeParse(benchmark::State& state) {
+    const auto pkt = wire::ArpPacket::request(wire::MacAddress::local(1),
+                                              wire::Ipv4Address{10, 0, 0, 1},
+                                              wire::Ipv4Address{10, 0, 0, 2});
+    for (auto _ : state) {
+        const auto raw = pkt.serialize();
+        benchmark::DoNotOptimize(wire::ArpPacket::parse(raw));
+    }
+}
+BENCHMARK(BM_ArpSerializeParse);
+
+static void BM_EthernetRoundTrip(benchmark::State& state) {
+    wire::EthernetFrame f;
+    f.dst = wire::MacAddress::local(1);
+    f.src = wire::MacAddress::local(2);
+    f.ether_type = wire::EtherType::kIpv4;
+    wire::Ipv4Packet ip;
+    ip.src = wire::Ipv4Address{10, 0, 0, 1};
+    ip.dst = wire::Ipv4Address{10, 0, 0, 2};
+    ip.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5A);
+    f.payload = ip.serialize();
+    for (auto _ : state) {
+        const auto raw = f.serialize();
+        auto parsed = wire::EthernetFrame::parse(raw);
+        benchmark::DoNotOptimize(parsed);
+    }
+    state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(f.wire_size()));
+}
+BENCHMARK(BM_EthernetRoundTrip)->Arg(64)->Arg(512)->Arg(1400);
+
+static void BM_DhcpRoundTrip(benchmark::State& state) {
+    wire::DhcpMessage m;
+    m.op = 2;
+    m.yiaddr = wire::Ipv4Address{192, 168, 1, 100};
+    m.chaddr = wire::MacAddress::local(5);
+    m.message_type = wire::DhcpMessageType::kAck;
+    m.lease_seconds = 3600;
+    m.server_id = wire::Ipv4Address{192, 168, 1, 1};
+    for (auto _ : state) {
+        const auto raw = m.serialize();
+        benchmark::DoNotOptimize(wire::DhcpMessage::parse(raw));
+    }
+}
+BENCHMARK(BM_DhcpRoundTrip);
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+static void BM_ArpCacheOffer(benchmark::State& state) {
+    arp::ArpCache cache(arp::CachePolicy::linux26());
+    common::SimTime now;
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        cache.offer(wire::Ipv4Address{i % 1024}, wire::MacAddress::local(i % 64),
+                    arp::UpdateSource::kSolicitedReply, now);
+        ++i;
+        now += common::Duration::micros(1);
+    }
+}
+BENCHMARK(BM_ArpCacheOffer);
+
+static void BM_ArpCacheLookupHit(benchmark::State& state) {
+    arp::ArpCache cache(arp::CachePolicy::linux26());
+    const common::SimTime now;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        cache.offer(wire::Ipv4Address{i}, wire::MacAddress::local(i),
+                    arp::UpdateSource::kSolicitedReply, now);
+    }
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(wire::Ipv4Address{i++ % 256}, now));
+    }
+}
+BENCHMARK(BM_ArpCacheLookupHit);
+
+static void BM_CamLearnLookup(benchmark::State& state) {
+    l2::CamConfig cfg;
+    cfg.capacity = 4096;
+    l2::CamTable cam(cfg);
+    common::SimTime now;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        cam.learn(wire::MacAddress::local(i % 2048), static_cast<sim::PortId>(i % 8), now);
+        benchmark::DoNotOptimize(cam.lookup(wire::MacAddress::local((i + 1) % 2048), now));
+        ++i;
+        now += common::Duration::micros(1);
+    }
+}
+BENCHMARK(BM_CamLearnLookup);
+
+// ---------------------------------------------------------------------------
+// End-to-end simulation throughput
+// ---------------------------------------------------------------------------
+
+static void BM_ScenarioEventsPerSecond(benchmark::State& state) {
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        core::ScenarioConfig cfg;
+        cfg.seed = 1;
+        cfg.host_count = static_cast<std::size_t>(state.range(0));
+        cfg.attack = core::AttackKind::kMitm;
+        cfg.duration = common::Duration::seconds(20);
+        cfg.attack_start = common::Duration::seconds(5);
+        cfg.attack_stop = common::Duration::seconds(15);
+        detect::NullScheme scheme;
+        const auto r = core::ScenarioRunner::run_scheme(cfg, scheme);
+        events += r.events_executed;
+    }
+    state.counters["events/s"] =
+        benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScenarioEventsPerSecond)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+static void BM_ScenarioWithSArp(benchmark::State& state) {
+    for (auto _ : state) {
+        core::ScenarioConfig cfg;
+        cfg.seed = 1;
+        cfg.host_count = 8;
+        cfg.attack = core::AttackKind::kMitm;
+        cfg.duration = common::Duration::seconds(20);
+        cfg.attack_start = common::Duration::seconds(5);
+        cfg.attack_stop = common::Duration::seconds(15);
+        auto scheme = detect::make_scheme("s-arp");
+        benchmark::DoNotOptimize(core::ScenarioRunner::run_scheme(cfg, *scheme));
+    }
+}
+BENCHMARK(BM_ScenarioWithSArp)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,97 @@
+// T3 — Per-scheme quantitative summary over multiple seeds: detection rate
+// (fraction of attacked runs with at least one true-positive alert), median
+// detection latency, false positives under benign churn, attack success
+// rate, and resolution-latency medians. The multi-seed version of T2b.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "detect/registry.hpp"
+
+using namespace arpsec;
+
+namespace {
+
+constexpr int kSeeds = 10;
+
+core::ScenarioConfig base_config(const std::string& scheme_name, std::uint64_t seed) {
+    core::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.host_count = 8;
+    cfg.addressing =
+        scheme_name == "dai" || scheme_name == "lease-monitor"
+            ? core::Addressing::kDhcp
+            : core::Addressing::kStatic;
+    cfg.duration = common::Duration::seconds(60);
+    cfg.attack_start = common::Duration::seconds(20);
+    cfg.attack_stop = common::Duration::seconds(50);
+    cfg.repoison_period = common::Duration::seconds(2);
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    core::TextTable table(
+        "T3 — Quantitative summary, " + std::to_string(kSeeds) +
+        " seeds (MITM runs for efficacy/detection; benign churn runs for FPs)");
+    table.set_headers({"scheme", "attack success", "detect rate", "det latency p50",
+                       "FP/churn-run", "resolve p50 (us)", "resolve sd",
+                       "poisoned at end"});
+
+    for (const auto& reg : detect::all_schemes()) {
+        int successes = 0;
+        int detected = 0;
+        int poisoned = 0;
+        common::Summary latencies_ms;
+        common::Summary resolve_us;
+        double fp_total = 0;
+
+        for (int s = 0; s < kSeeds; ++s) {
+            // Attack run.
+            auto scheme = reg.make();
+            auto cfg = base_config(reg.name, 100 + static_cast<std::uint64_t>(s));
+            cfg.attack = core::AttackKind::kMitm;
+            const auto r = core::ScenarioRunner::run_scheme(cfg, *scheme);
+            if (r.attack_succeeded) ++successes;
+            if (r.alerts.true_positives > 0) ++detected;
+            if (r.victim_poisoned_at_end) ++poisoned;
+            if (r.alerts.detection_latency) {
+                latencies_ms.add(r.alerts.detection_latency->to_millis());
+            }
+            resolve_us.merge(r.resolution_latency_us);
+
+            // Benign churn run (the false-positive stressor).
+            auto scheme2 = reg.make();
+            auto cfg2 = base_config(reg.name, 200 + static_cast<std::uint64_t>(s));
+            cfg2.attack = core::AttackKind::kNone;
+            if (cfg2.addressing == core::Addressing::kDhcp) {
+                cfg2.churn.dhcp_recycles = 2;
+            } else {
+                cfg2.churn.nic_swap = true;
+            }
+            const auto rb = core::ScenarioRunner::run_scheme(cfg2, *scheme2);
+            fp_total += static_cast<double>(rb.alerts.false_positives);
+        }
+
+        table.add_row({reg.name,
+                       core::fmt_percent(static_cast<double>(successes) / kSeeds),
+                       core::fmt_percent(static_cast<double>(detected) / kSeeds),
+                       latencies_ms.empty() ? "n/a"
+                                            : core::fmt_double(latencies_ms.median(), 1) + " ms",
+                       core::fmt_double(fp_total / kSeeds, 1),
+                       resolve_us.empty() ? "n/a" : core::fmt_double(resolve_us.median(), 1),
+                       resolve_us.count() < 2 ? "n/a"
+                                              : core::fmt_double(resolve_us.stddev(), 1),
+                       core::fmt_percent(static_cast<double>(poisoned) / kSeeds)});
+    }
+
+    table.print();
+    std::puts("");
+    std::puts("Reading: prevention schemes hold attack success at 0% across seeds;");
+    std::puts("arpwatch/snort detect everything but false-positive on every churn");
+    std::puts("run, while active-probe and the probe-based host schemes stay quiet.");
+    return 0;
+}

@@ -1,0 +1,84 @@
+// MITM interception walkthrough with packet capture.
+//
+// Runs the same man-in-the-middle campaign twice on the standard testbed:
+//   1. against an unprotected LAN — the attacker silently reads the
+//      victim<->gateway conversation while traffic keeps flowing;
+//   2. against the same LAN protected by Dynamic ARP Inspection — the
+//      switch drops the forged claims and logs the attacker's port.
+// Both runs are recorded to pcap files (openable in Wireshark), exercising
+// the framework's libpcap-substitution capture path.
+//
+//   $ ./examples/mitm_interception
+//   $ tcpdump -r mitm_unprotected.pcap arp | head
+
+#include <cstdio>
+
+#include "core/runner.hpp"
+#include "detect/registry.hpp"
+#include "sim/pcap_tap.hpp"
+
+using namespace arpsec;
+
+namespace {
+
+core::ScenarioConfig scenario(core::Addressing addressing) {
+    core::ScenarioConfig cfg;
+    cfg.seed = 2026;
+    cfg.host_count = 4;
+    cfg.addressing = addressing;
+    cfg.attack = core::AttackKind::kMitm;
+    cfg.duration = common::Duration::seconds(40);
+    cfg.attack_start = common::Duration::seconds(10);
+    cfg.attack_stop = common::Duration::seconds(35);
+    cfg.repoison_period = common::Duration::seconds(2);
+    return cfg;
+}
+
+void report(const char* label, const core::ScenarioResult& r, std::size_t pcap_frames,
+            const char* pcap_path) {
+    std::printf("\n--- %s ---\n", label);
+    std::printf("attack window       : %5.1f%% of datagrams intercepted, %5.1f%% delivered\n",
+                r.attack_window.interception_ratio() * 100.0,
+                r.attack_window.delivery_ratio() * 100.0);
+    std::printf("victim cache at end : %s\n",
+                r.victim_poisoned_at_end ? "POISONED (gateway -> attacker MAC)" : "clean");
+    std::printf("scheme alerts       : %llu true positives, %llu false positives\n",
+                (unsigned long long)r.alerts.true_positives,
+                (unsigned long long)r.alerts.false_positives);
+    std::printf("capture             : %zu frames -> %s\n", pcap_frames, pcap_path);
+}
+
+}  // namespace
+
+int main() {
+    std::puts("MITM interception demo: unprotected LAN vs DAI-protected LAN");
+
+    {
+        const char* path = "mitm_unprotected.pcap";
+        detect::NullScheme scheme;
+        core::ScenarioRunner runner(scenario(core::Addressing::kStatic));
+        sim::PcapTap tap(path);
+        const auto result = runner.run_with_tap(scheme, &tap);
+        report("unprotected (classic ARP)", result, tap.frames(), path);
+    }
+
+    {
+        const char* path = "mitm_dai_protected.pcap";
+        auto scheme = detect::make_scheme("dai");
+        core::ScenarioRunner runner(scenario(core::Addressing::kDhcp));
+        sim::PcapTap tap(path);
+        runner.alerts().on_alert = [](const detect::Alert& a) {
+            static int shown = 0;
+            if (shown++ < 3) std::printf("ALERT  %s\n", a.to_string().c_str());
+        };
+        const auto result = runner.run_with_tap(*scheme, &tap);
+        report("protected (DHCP snooping + Dynamic ARP Inspection)", result, tap.frames(),
+               path);
+    }
+
+    std::puts("\nOpen the pcap files in Wireshark: the unprotected capture shows the");
+    std::puts("forged 'is-at' replies and the victim's traffic detouring through the");
+    std::puts("attacker; the protected capture shows the forgeries never leaving the");
+    std::puts("attacker's switch port.");
+    return 0;
+}

@@ -1,0 +1,105 @@
+// Policy explorer: interactive CLI over the attack taxonomy (table T1).
+// Evaluate a single (policy, vector, state) micro-scenario, or sweep
+// everything for one policy.
+//
+//   $ ./examples/policy_explorer                       # list options
+//   $ ./examples/policy_explorer linux-2.6             # sweep one policy
+//   $ ./examples/policy_explorer windows-xp unsolicited-reply fresh
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "core/report.hpp"
+#include "core/taxonomy.hpp"
+
+using namespace arpsec;
+
+namespace {
+
+std::optional<arp::CachePolicy> find_policy(const char* name) {
+    for (auto& p : arp::CachePolicy::all_profiles()) {
+        if (p.name == name) return p;
+    }
+    return std::nullopt;
+}
+
+std::optional<attack::PoisonVector> find_vector(const char* name) {
+    for (auto v : {attack::PoisonVector::kUnsolicitedReply, attack::PoisonVector::kForgedRequest,
+                   attack::PoisonVector::kGratuitousRequest,
+                   attack::PoisonVector::kGratuitousReply, attack::PoisonVector::kReplyRace}) {
+        if (attack::to_string(v) == name) return v;
+    }
+    return std::nullopt;
+}
+
+std::optional<core::InitialEntry> find_state(const char* name) {
+    for (auto s : {core::InitialEntry::kAbsent, core::InitialEntry::kFresh,
+                   core::InitialEntry::kAged}) {
+        if (core::to_string(s) == name) return s;
+    }
+    return std::nullopt;
+}
+
+void usage() {
+    std::puts("usage: policy_explorer [<policy> [<vector> <state>]]");
+    std::puts("policies:");
+    for (auto& p : arp::CachePolicy::all_profiles()) std::printf("  %s\n", p.name.c_str());
+    std::puts("vectors:");
+    std::puts("  unsolicited-reply forged-request gratuitous-request gratuitous-reply "
+              "reply-race");
+    std::puts("states:");
+    std::puts("  absent fresh aged");
+}
+
+void sweep(const arp::CachePolicy& policy) {
+    core::TextTable table("susceptibility of " + policy.name);
+    table.set_headers({"vector", "absent", "fresh", "aged"});
+    for (auto v : {attack::PoisonVector::kUnsolicitedReply, attack::PoisonVector::kForgedRequest,
+                   attack::PoisonVector::kGratuitousRequest,
+                   attack::PoisonVector::kGratuitousReply, attack::PoisonVector::kReplyRace}) {
+        std::vector<std::string> row{attack::to_string(v)};
+        for (auto s : {core::InitialEntry::kAbsent, core::InitialEntry::kFresh,
+                       core::InitialEntry::kAged}) {
+            row.push_back(
+                core::evaluate_poison_case({policy, v, s, 1}).poisoned ? "POISONED" : "safe");
+        }
+        table.add_row(std::move(row));
+    }
+    table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc == 1) {
+        usage();
+        return 0;
+    }
+    const auto policy = find_policy(argv[1]);
+    if (!policy) {
+        std::fprintf(stderr, "unknown policy '%s'\n", argv[1]);
+        usage();
+        return 1;
+    }
+    if (argc == 2) {
+        sweep(*policy);
+        return 0;
+    }
+    if (argc != 4) {
+        usage();
+        return 1;
+    }
+    const auto vector = find_vector(argv[2]);
+    const auto state = find_state(argv[3]);
+    if (!vector || !state) {
+        std::fprintf(stderr, "unknown vector or state\n");
+        usage();
+        return 1;
+    }
+    const auto out = core::evaluate_poison_case({*policy, *vector, *state, 1});
+    std::printf("policy=%s vector=%s state=%s -> %s\n", policy->name.c_str(),
+                attack::to_string(*vector).c_str(), core::to_string(*state).c_str(),
+                out.poisoned ? "POISONED" : "safe");
+    return out.poisoned ? 2 : 0;
+}

@@ -1,0 +1,154 @@
+#include "arp/cache.hpp"
+
+namespace arpsec::arp {
+
+std::optional<wire::MacAddress> ArpCache::lookup(wire::Ipv4Address ip, common::SimTime now) {
+    ++stats_.lookups;
+    auto it = entries_.find(ip);
+    if (it == entries_.end()) return std::nullopt;
+    if (expired(it->second, now)) {
+        entries_.erase(it);
+        ++stats_.expirations;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second.mac;
+}
+
+std::optional<CacheEntry> ArpCache::peek(wire::Ipv4Address ip) const {
+    auto it = entries_.find(ip);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+}
+
+void ArpCache::set_static(wire::Ipv4Address ip, wire::MacAddress mac, common::SimTime now) {
+    CacheEntry e;
+    e.mac = mac;
+    e.state = EntryState::kStatic;
+    e.inserted_at = now;
+    e.updated_at = now;
+    e.last_source = UpdateSource::kStatic;
+    entries_[ip] = e;
+}
+
+UpdateOutcome ArpCache::offer(wire::Ipv4Address ip, wire::MacAddress mac, UpdateSource source,
+                              common::SimTime now) {
+    ++stats_.offers;
+    UpdateOutcome out;
+
+    auto it = entries_.find(ip);
+    if (it != entries_.end() && expired(it->second, now)) {
+        entries_.erase(it);
+        ++stats_.expirations;
+        it = entries_.end();
+    }
+
+    if (it == entries_.end()) {
+        if (!policy_.allows_create(source)) {
+            ++stats_.rejected_by_policy;
+            out.reject_reason = "policy forbids create";
+            return out;
+        }
+        if (policy_.max_entries != 0 && entries_.size() >= policy_.max_entries) {
+            // Full table: evict the least recently confirmed dynamic entry
+            // (Linux-style garbage collection under pressure). If only
+            // static entries remain, the create is refused.
+            auto victim = entries_.end();
+            for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+                if (cand->second.state != EntryState::kDynamic) continue;
+                if (victim == entries_.end() ||
+                    cand->second.updated_at < victim->second.updated_at) {
+                    victim = cand;
+                }
+            }
+            if (victim == entries_.end()) {
+                ++stats_.rejected_by_policy;
+                out.reject_reason = "table full of static entries";
+                return out;
+            }
+            entries_.erase(victim);
+            ++stats_.capacity_evictions;
+        }
+        CacheEntry e;
+        e.mac = mac;
+        e.state = EntryState::kDynamic;
+        e.inserted_at = now;
+        e.updated_at = now;
+        e.last_source = source;
+        entries_[ip] = e;
+        ++stats_.accepted;
+        out.accepted = true;
+        out.created = true;
+        return out;
+    }
+
+    CacheEntry& entry = it->second;
+    if (entry.state == EntryState::kStatic) {
+        ++stats_.rejected_by_policy;
+        out.reject_reason = "static entry";
+        return out;
+    }
+    if (!policy_.allows_update(source)) {
+        ++stats_.rejected_by_policy;
+        out.reject_reason = "policy forbids update";
+        return out;
+    }
+    if (entry.mac != mac && policy_.min_update_age > common::Duration::zero() &&
+        now - entry.updated_at < policy_.min_update_age) {
+        ++stats_.rejected_by_policy;
+        out.reject_reason = "entry too fresh to overwrite";
+        return out;
+    }
+
+    if (entry.mac != mac) {
+        out.overwrote = true;
+        out.previous_mac = entry.mac;
+        ++stats_.overwrites;
+    }
+    entry.mac = mac;
+    entry.updated_at = now;
+    entry.last_source = source;
+    ++stats_.accepted;
+    out.accepted = true;
+    return out;
+}
+
+void ArpCache::force(wire::Ipv4Address ip, wire::MacAddress mac, common::SimTime now) {
+    auto it = entries_.find(ip);
+    if (it != entries_.end() && it->second.state == EntryState::kStatic) return;
+    CacheEntry e;
+    e.mac = mac;
+    e.state = EntryState::kDynamic;
+    e.inserted_at = it != entries_.end() ? it->second.inserted_at : now;
+    e.updated_at = now;
+    e.last_source = UpdateSource::kSolicitedReply;
+    entries_[ip] = e;
+}
+
+void ArpCache::evict(wire::Ipv4Address ip) {
+    auto it = entries_.find(ip);
+    if (it != entries_.end() && it->second.state != EntryState::kStatic) entries_.erase(it);
+}
+
+std::size_t ArpCache::purge_expired(common::SimTime now) {
+    std::size_t removed = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (expired(it->second, now)) {
+            it = entries_.erase(it);
+            ++removed;
+            ++stats_.expirations;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+std::vector<std::pair<wire::Ipv4Address, CacheEntry>> ArpCache::snapshot() const {
+    std::vector<std::pair<wire::Ipv4Address, CacheEntry>> out;
+    out.reserve(entries_.size());
+    for (const auto& [ip, e] : entries_) out.emplace_back(ip, e);
+    return out;
+}
+
+}  // namespace arpsec::arp

@@ -1,0 +1,109 @@
+#include "arp/policy.hpp"
+
+namespace arpsec::arp {
+
+std::string to_string(UpdateSource s) {
+    switch (s) {
+        case UpdateSource::kSolicitedReply: return "solicited-reply";
+        case UpdateSource::kUnsolicitedReply: return "unsolicited-reply";
+        case UpdateSource::kRequest: return "request";
+        case UpdateSource::kGratuitousRequest: return "gratuitous-request";
+        case UpdateSource::kGratuitousReply: return "gratuitous-reply";
+        case UpdateSource::kStatic: return "static";
+    }
+    return "?";
+}
+
+bool CachePolicy::allows_create(UpdateSource s) const {
+    switch (s) {
+        case UpdateSource::kSolicitedReply: return create_on_solicited_reply;
+        case UpdateSource::kUnsolicitedReply: return create_on_unsolicited_reply;
+        case UpdateSource::kRequest: return create_on_request;
+        case UpdateSource::kGratuitousRequest:
+        case UpdateSource::kGratuitousReply: return create_on_gratuitous;
+        case UpdateSource::kStatic: return true;
+    }
+    return false;
+}
+
+bool CachePolicy::allows_update(UpdateSource s) const {
+    switch (s) {
+        case UpdateSource::kSolicitedReply: return update_on_solicited_reply;
+        case UpdateSource::kUnsolicitedReply: return update_on_unsolicited_reply;
+        case UpdateSource::kRequest: return update_on_request;
+        case UpdateSource::kGratuitousRequest:
+        case UpdateSource::kGratuitousReply: return update_on_gratuitous;
+        case UpdateSource::kStatic: return true;
+    }
+    return false;
+}
+
+CachePolicy CachePolicy::linux26() {
+    CachePolicy p;
+    p.name = "linux-2.6";
+    p.create_on_unsolicited_reply = false;
+    p.update_on_unsolicited_reply = true;
+    p.create_on_request = true;
+    p.update_on_request = true;
+    p.create_on_gratuitous = false;
+    p.update_on_gratuitous = true;
+    return p;
+}
+
+CachePolicy CachePolicy::windows_xp() {
+    CachePolicy p;
+    p.name = "windows-xp";
+    p.create_on_unsolicited_reply = true;
+    p.update_on_unsolicited_reply = true;
+    p.create_on_request = true;
+    p.update_on_request = true;
+    p.create_on_gratuitous = true;
+    p.update_on_gratuitous = true;
+    return p;
+}
+
+CachePolicy CachePolicy::freebsd5() {
+    CachePolicy p;
+    p.name = "freebsd-5";
+    p.create_on_unsolicited_reply = false;
+    p.update_on_unsolicited_reply = false;
+    p.create_on_request = true;
+    p.update_on_request = true;
+    p.create_on_gratuitous = false;
+    p.update_on_gratuitous = false;
+    return p;
+}
+
+CachePolicy CachePolicy::solaris9() {
+    CachePolicy p;
+    p.name = "solaris-9";
+    p.create_on_unsolicited_reply = true;
+    p.update_on_unsolicited_reply = true;
+    p.create_on_request = true;
+    p.update_on_request = true;
+    p.create_on_gratuitous = true;
+    p.update_on_gratuitous = true;
+    p.min_update_age = common::Duration::seconds(30);
+    return p;
+}
+
+CachePolicy CachePolicy::strict() {
+    CachePolicy p;
+    p.name = "strict";
+    p.create_on_solicited_reply = true;
+    p.update_on_solicited_reply = true;
+    p.create_on_unsolicited_reply = false;
+    p.update_on_unsolicited_reply = false;
+    p.create_on_request = false;
+    p.update_on_request = false;
+    p.create_on_gratuitous = false;
+    p.update_on_gratuitous = false;
+    p.min_update_age = common::Duration::seconds(60);
+    return p;
+}
+
+std::vector<CachePolicy> CachePolicy::all_profiles() {
+    return {linux26(), windows_xp(), freebsd5(), solaris9(), strict()};
+}
+
+}  // namespace arpsec::arp

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace arpsec::arp {
+
+/// How an ARP-cache update was triggered. The ARP engine classifies each
+/// received packet; the cache policy decides acceptance per class.
+enum class UpdateSource {
+    kSolicitedReply,     // reply matching one of our outstanding requests
+    kUnsolicitedReply,   // reply we never asked for
+    kRequest,            // learned from a request's sender fields
+    kGratuitousRequest,  // announcement in request form (sender IP == target IP)
+    kGratuitousReply,    // announcement in reply form
+    kStatic,             // administratively configured
+};
+
+[[nodiscard]] std::string to_string(UpdateSource s);
+
+/// ARP cache acceptance policy. The fields model the per-OS behavioural
+/// differences the 2007-era literature documents for poisoning
+/// susceptibility: which packet classes may *create* a new cache entry and
+/// which may *update* (overwrite) an existing one.
+struct CachePolicy {
+    std::string name = "default";
+
+    bool create_on_solicited_reply = true;
+    bool update_on_solicited_reply = true;
+    bool create_on_unsolicited_reply = false;
+    bool update_on_unsolicited_reply = true;
+    bool create_on_request = true;
+    bool update_on_request = true;
+    bool create_on_gratuitous = false;
+    bool update_on_gratuitous = true;
+
+    /// Solaris-style refresh guard: dynamic entries younger than this are
+    /// not overwritten (an attacker must win the refresh race).
+    common::Duration min_update_age = common::Duration::zero();
+
+    /// Lifetime of a dynamic entry after its last confirmation.
+    common::Duration entry_ttl = common::Duration::seconds(60);
+
+    /// Neighbor-table bound (Linux gc_thresh3-style). When the cache is
+    /// full, creating a new dynamic entry evicts the least recently
+    /// confirmed dynamic entry — the behaviour cache-exhaustion DoS
+    /// attacks lean on. 0 disables the bound.
+    std::size_t max_entries = 1024;
+
+    [[nodiscard]] bool allows_create(UpdateSource s) const;
+    [[nodiscard]] bool allows_update(UpdateSource s) const;
+
+    // ---- Profiles reproducing documented stack behaviour (ca. 2007) ----
+
+    /// Linux 2.4/2.6: will not create entries from unsolicited replies, but
+    /// refreshes existing entries from any well-formed ARP packet.
+    static CachePolicy linux26();
+    /// Windows 2000/XP: accepts unsolicited replies even for new entries.
+    static CachePolicy windows_xp();
+    /// FreeBSD 4/5: ignores unsolicited replies entirely; learns from
+    /// requests and solicited replies.
+    static CachePolicy freebsd5();
+    /// Solaris 8/9: accepts unsolicited traffic but refuses to overwrite an
+    /// entry until it has aged past a refresh threshold.
+    static CachePolicy solaris9();
+    /// A maximally strict dynamic policy (only solicited replies; never
+    /// overwrite before expiry) — the upper bound a host can reach without
+    /// protocol changes.
+    static CachePolicy strict();
+
+    /// All built-in profiles, for taxonomy sweeps.
+    static std::vector<CachePolicy> all_profiles();
+};
+
+}  // namespace arpsec::arp

@@ -1,0 +1,391 @@
+#include "attack/attacker.hpp"
+
+#include "host/payload.hpp"
+#include "wire/dhcp_message.hpp"
+#include "wire/tcp_segment.hpp"
+#include "wire/udp_datagram.hpp"
+
+namespace arpsec::attack {
+
+using common::Duration;
+using wire::ArpOp;
+using wire::ArpPacket;
+using wire::EthernetFrame;
+using wire::EtherType;
+using wire::Ipv4Address;
+using wire::Ipv4Packet;
+using wire::MacAddress;
+
+std::string to_string(PoisonVector v) {
+    switch (v) {
+        case PoisonVector::kUnsolicitedReply: return "unsolicited-reply";
+        case PoisonVector::kForgedRequest: return "forged-request";
+        case PoisonVector::kGratuitousRequest: return "gratuitous-request";
+        case PoisonVector::kGratuitousReply: return "gratuitous-reply";
+        case PoisonVector::kReplyRace: return "reply-race";
+    }
+    return "?";
+}
+
+Attacker::Attacker(Config config) : sim::Node(config.name), config_(std::move(config)) {}
+
+void Attacker::learn_binding(Ipv4Address ip, MacAddress mac) { true_bindings_[ip] = mac; }
+
+std::size_t Attacker::start_poison(PoisonCampaign campaign) {
+    const std::size_t id = campaigns_.size();
+    campaigns_.push_back(Campaign{campaign, true});
+    if (campaign.vector == PoisonVector::kReplyRace) {
+        enable_reply_race(campaign.spoofed_ip, campaign.claimed_mac, Duration::micros(50));
+    } else {
+        run_campaign(id);
+    }
+    return id;
+}
+
+void Attacker::stop_poison(std::size_t campaign_id) {
+    if (campaign_id < campaigns_.size()) campaigns_[campaign_id].active = false;
+}
+
+void Attacker::stop_all() {
+    for (auto& c : campaigns_) c.active = false;
+    disable_reply_race();
+    relay_enabled_ = false;
+    flood_remaining_ = 0;
+    starve_remaining_ = 0;
+    clone_.reset();
+    cache_flood_.reset();
+    tcp_rst_injection_ = false;
+    probe_spoof_ips_.clear();
+}
+
+void Attacker::run_campaign(std::size_t id) {
+    if (id >= campaigns_.size() || !campaigns_[id].active) return;
+    const Campaign& c = campaigns_[id];
+    send_poison(c.spec);
+    if (c.spec.period > Duration::zero()) {
+        network().scheduler().schedule_after(c.spec.period, [this, id] { run_campaign(id); });
+    }
+}
+
+void Attacker::send_poison(const PoisonCampaign& c) {
+    ArpPacket pkt;
+    MacAddress frame_dst = c.victim_mac;
+    switch (c.vector) {
+        case PoisonVector::kUnsolicitedReply:
+            pkt = ArpPacket::reply(c.claimed_mac, c.spoofed_ip, c.victim_mac, c.victim_ip);
+            break;
+        case PoisonVector::kForgedRequest:
+            // A request whose *sender* fields carry the lie; many stacks
+            // learn the sender of any request addressed to them.
+            pkt = ArpPacket::request(c.claimed_mac, c.spoofed_ip, c.victim_ip);
+            break;
+        case PoisonVector::kGratuitousRequest:
+            pkt = ArpPacket::gratuitous(c.claimed_mac, c.spoofed_ip, /*as_reply=*/false);
+            frame_dst = MacAddress::broadcast();
+            break;
+        case PoisonVector::kGratuitousReply:
+            pkt = ArpPacket::gratuitous(c.claimed_mac, c.spoofed_ip, /*as_reply=*/true);
+            frame_dst = MacAddress::broadcast();
+            break;
+        case PoisonVector::kReplyRace:
+            return;  // handled reactively in handle_arp()
+    }
+
+    EthernetFrame frame;
+    frame.dst = frame_dst;
+    // The frame-level source is the attacker's own NIC: spoofing the
+    // Ethernet source as well is possible but defeats port security, so we
+    // model the common tool behaviour (frame src = attacker, ARP sender =
+    // lie), which is also what Snort's consistency check keys on.
+    frame.src = config_.mac;
+    frame.ether_type = EtherType::kArp;
+    frame.payload = pkt.serialize();
+    ++stats_.poison_frames_sent;
+    send(0, frame);
+}
+
+void Attacker::start_mitm(Ipv4Address a_ip, MacAddress a_mac, Ipv4Address b_ip,
+                          MacAddress b_mac, Duration repoison_period) {
+    learn_binding(a_ip, a_mac);
+    learn_binding(b_ip, b_mac);
+    relay_enabled_ = true;
+    // Tell A that B is at the attacker, and B that A is at the attacker.
+    start_poison(PoisonCampaign{a_ip, a_mac, b_ip, config_.mac,
+                                PoisonVector::kUnsolicitedReply, repoison_period});
+    start_poison(PoisonCampaign{b_ip, b_mac, a_ip, config_.mac,
+                                PoisonVector::kUnsolicitedReply, repoison_period});
+}
+
+void Attacker::enable_reply_race(Ipv4Address spoofed_ip, MacAddress claimed_mac,
+                                 Duration reaction_delay) {
+    race_ = RaceSpec{spoofed_ip, claimed_mac, reaction_delay};
+}
+
+void Attacker::disable_reply_race() { race_.reset(); }
+
+void Attacker::spoof_probe_answers_for(Ipv4Address ip) { probe_spoof_ips_.push_back(ip); }
+
+void Attacker::start_mac_flood(std::uint64_t count, double rate) {
+    flood_remaining_ = count;
+    flood_interval_ = Duration{static_cast<std::int64_t>(1e9 / rate)};
+    if (!flood_rng_) flood_rng_ = network().fork_rng(0xF100D + id());
+    flood_tick();
+}
+
+void Attacker::flood_tick() {
+    if (flood_remaining_ == 0) return;
+    --flood_remaining_;
+    EthernetFrame frame;
+    frame.dst = MacAddress::local(flood_rng_->next_u64() & 0xFFFFFFFFFFULL);
+    frame.src = MacAddress::local(flood_rng_->next_u64() & 0xFFFFFFFFFFULL);
+    frame.ether_type = EtherType::kIpv4;
+    Ipv4Packet p;
+    p.src = Ipv4Address{static_cast<std::uint32_t>(flood_rng_->next_u64())};
+    p.dst = Ipv4Address{static_cast<std::uint32_t>(flood_rng_->next_u64())};
+    frame.payload = p.serialize();
+    ++stats_.flood_frames_sent;
+    send(0, frame);
+    network().scheduler().schedule_after(flood_interval_, [this] { flood_tick(); });
+}
+
+void Attacker::start_mac_clone(MacAddress victim_mac, Duration period) {
+    clone_ = CloneSpec{victim_mac, period};
+    clone_tick();
+}
+
+void Attacker::clone_tick() {
+    if (!clone_) return;
+    // Any frame sourced from the victim's MAC refreshes the switch CAM
+    // toward our port; an empty IPv4 packet to a reserved address suffices.
+    EthernetFrame frame;
+    frame.dst = MacAddress::local(0xC10E);  // sink address nobody owns
+    frame.src = clone_->victim_mac;
+    frame.ether_type = EtherType::kIpv4;
+    Ipv4Packet p;
+    p.src = config_.ip.value_or(Ipv4Address::any());
+    p.dst = Ipv4Address{203, 0, 113, 1};
+    frame.payload = p.serialize();
+    ++stats_.clone_frames_sent;
+    send(0, frame);
+    network().scheduler().schedule_after(clone_->period, [this] { clone_tick(); });
+}
+
+void Attacker::start_dhcp_starvation(std::uint64_t count, double rate) {
+    starve_remaining_ = count;
+    starve_interval_ = Duration{static_cast<std::int64_t>(1e9 / rate)};
+    if (!flood_rng_) flood_rng_ = network().fork_rng(0xF100D + id());
+    starve_tick();
+}
+
+void Attacker::starve_tick() {
+    if (starve_remaining_ == 0) return;
+    --starve_remaining_;
+    // DISCOVER with a random client hardware address; real tools (yersinia)
+    // spoof the Ethernet source to match so snooping switches see a
+    // consistent client.
+    const MacAddress fake = MacAddress::local(flood_rng_->next_u64() & 0xFFFFFFFFFFULL);
+    wire::DhcpMessage msg;
+    msg.op = 1;
+    msg.xid = static_cast<std::uint32_t>(flood_rng_->next_u64());
+    msg.flags = wire::DhcpMessage::kFlagBroadcast;
+    msg.chaddr = fake;
+    msg.message_type = wire::DhcpMessageType::kDiscover;
+    wire::UdpDatagram udp;
+    udp.src_port = wire::DhcpMessage::kClientPort;
+    udp.dst_port = wire::DhcpMessage::kServerPort;
+    udp.payload = msg.serialize();
+    Ipv4Packet ip;
+    ip.src = Ipv4Address::any();
+    ip.dst = Ipv4Address::broadcast();
+    ip.payload = udp.serialize();
+    EthernetFrame frame;
+    frame.dst = MacAddress::broadcast();
+    frame.src = fake;
+    frame.ether_type = EtherType::kIpv4;
+    frame.payload = ip.serialize();
+    ++stats_.dhcp_discovers_sent;
+    send(0, frame);
+    network().scheduler().schedule_after(starve_interval_, [this] { starve_tick(); });
+}
+
+void Attacker::start_cache_flood(Ipv4Address victim_ip, MacAddress victim_mac,
+                                 std::uint64_t count, double rate) {
+    cache_flood_ = CacheFloodSpec{victim_ip, victim_mac, count,
+                                  Duration{static_cast<std::int64_t>(1e9 / rate)}};
+    if (!flood_rng_) flood_rng_ = network().fork_rng(0xF100D + id());
+    cache_flood_tick();
+}
+
+void Attacker::cache_flood_tick() {
+    if (!cache_flood_ || cache_flood_->remaining == 0) return;
+    --cache_flood_->remaining;
+    // Forged request from a random station asking for the victim's address:
+    // most stacks create a neighbor entry for the request's sender.
+    const MacAddress fake_mac = MacAddress::local(flood_rng_->next_u64() & 0xFFFFFFFFFFULL);
+    const Ipv4Address fake_ip{0xC0A80000u |
+                              static_cast<std::uint32_t>(flood_rng_->next_below(0xFFFF))};
+    EthernetFrame frame;
+    frame.dst = cache_flood_->victim_mac;
+    frame.src = config_.mac;
+    frame.ether_type = EtherType::kArp;
+    frame.payload =
+        ArpPacket::request(fake_mac, fake_ip, cache_flood_->victim_ip).serialize();
+    ++stats_.cache_flood_sent;
+    send(0, frame);
+    network().scheduler().schedule_after(cache_flood_->interval,
+                                         [this] { cache_flood_tick(); });
+}
+
+void Attacker::on_frame(sim::PortId in_port, const EthernetFrame& frame,
+                        std::span<const std::uint8_t> raw) {
+    (void)in_port;
+    (void)raw;
+    if (frame.src == config_.mac) return;
+    if (frame.dst != config_.mac && !frame.dst.is_broadcast()) {
+        ++stats_.frames_sniffed;  // promiscuous capture of diverted traffic
+    }
+    switch (frame.ether_type) {
+        case EtherType::kArp:
+            handle_arp(frame);
+            break;
+        case EtherType::kIpv4:
+            handle_ipv4(frame);
+            break;
+    }
+}
+
+void Attacker::handle_arp(const EthernetFrame& frame) {
+    auto parsed = ArpPacket::parse(frame.payload);
+    if (!parsed.ok()) return;
+    const ArpPacket& pkt = parsed.value();
+    if (pkt.op != ArpOp::kRequest) return;
+
+    // Reply-race: answer broadcast requests for the watched IP before the
+    // real owner can.
+    if (race_ && pkt.target_ip == race_->spoofed_ip && frame.dst.is_broadcast() &&
+        pkt.sender_mac != config_.mac) {
+        const ArpPacket forged = ArpPacket::reply(race_->claimed_mac, race_->spoofed_ip,
+                                                  pkt.sender_mac, pkt.sender_ip);
+        EthernetFrame out;
+        out.dst = pkt.sender_mac;
+        out.src = config_.mac;
+        out.ether_type = EtherType::kArp;
+        out.payload = forged.serialize();
+        ++stats_.race_replies_sent;
+        ++stats_.poison_frames_sent;
+        network().scheduler().schedule_after(race_->reaction_delay,
+                                             [this, out] { send(0, out); });
+        return;
+    }
+
+    // Probe spoofing (Antidote-defeat ablation): answer unicast
+    // verification probes for IPs we are impersonating.
+    for (const Ipv4Address& ip : probe_spoof_ips_) {
+        if (pkt.target_ip == ip && frame.dst == config_.mac) {
+            const ArpPacket forged =
+                ArpPacket::reply(config_.mac, ip, pkt.sender_mac, pkt.sender_ip);
+            EthernetFrame out;
+            out.dst = pkt.sender_mac;
+            out.src = config_.mac;
+            out.ether_type = EtherType::kArp;
+            out.payload = forged.serialize();
+            ++stats_.poison_frames_sent;
+            send(0, out);
+            return;
+        }
+    }
+
+    // Stay reachable at our own address.
+    if (config_.answer_own_arp && config_.ip && pkt.target_ip == *config_.ip &&
+        !pkt.is_gratuitous()) {
+        const ArpPacket legit =
+            ArpPacket::reply(config_.mac, *config_.ip, pkt.sender_mac, pkt.sender_ip);
+        EthernetFrame out;
+        out.dst = pkt.sender_mac;
+        out.src = config_.mac;
+        out.ether_type = EtherType::kArp;
+        out.payload = legit.serialize();
+        send(0, out);
+    }
+}
+
+void Attacker::handle_ipv4(const EthernetFrame& frame) {
+    // Traffic that reaches our NIC but is addressed elsewhere is loot —
+    // ARP-diverted (frame dst = our MAC, IP dst = someone else), L2-diverted
+    // (MAC cloning / fail-open flooding: frame dst = victim), or broadcast
+    // frames carrying *unicast* IP destinations (the broadcast-MAC
+    // poisoning vector). Genuine broadcasts (DHCP etc.) are not loot.
+    const bool l2_diverted = frame.dst != config_.mac;
+    auto ip_pkt = Ipv4Packet::parse(frame.payload);
+    if (!ip_pkt.ok()) return;
+    if (config_.ip && ip_pkt->dst == *config_.ip) return;  // genuinely ours
+    if (ip_pkt->dst.is_broadcast()) return;
+    if (frame.dst.is_broadcast() && ip_pkt->dst.is_any()) return;
+
+    ++stats_.frames_intercepted;
+    if (ledger_ != nullptr && ip_pkt->protocol == wire::IpProto::kUdp) {
+        if (auto udp = wire::UdpDatagram::parse(ip_pkt->payload); udp.ok()) {
+            if (auto payload = host::Payload::parse(udp->payload)) {
+                ledger_->note_intercepted(*payload);
+            }
+        }
+    }
+
+    if (!relay_enabled_) return;  // pure DoS / eavesdrop-only stance
+    if (l2_diverted) return;      // relaying would loop through our own port
+
+    auto it = true_bindings_.find(ip_pkt->dst);
+    if (it == true_bindings_.end()) return;  // cannot forward: traffic blackholes
+    EthernetFrame out = frame;
+    out.dst = it->second;
+    out.src = config_.mac;
+    ++stats_.frames_relayed;
+    send(0, out);
+
+    if (tcp_rst_injection_ && ip_pkt->protocol == wire::IpProto::kTcp) {
+        inject_rsts_for(ip_pkt.value());
+    }
+}
+
+void Attacker::inject_rsts_for(const Ipv4Packet& relayed) {
+    auto seg = wire::TcpSegment::parse(relayed.payload);
+    if (!seg.ok()) return;
+    // Only segments that move the window are worth shadowing.
+    std::uint32_t advance = static_cast<std::uint32_t>(seg->payload.size());
+    if (seg->has(wire::TcpSegment::kSyn) || seg->has(wire::TcpSegment::kFin)) advance += 1;
+    if (advance == 0 && !seg->has(wire::TcpSegment::kAck)) return;
+
+    const auto send_rst = [this](Ipv4Address src_ip, Ipv4Address dst_ip,
+                                 std::uint16_t src_port, std::uint16_t dst_port,
+                                 std::uint32_t seq) {
+        auto dst_mac = true_bindings_.find(dst_ip);
+        if (dst_mac == true_bindings_.end()) return;
+        wire::TcpSegment rst;
+        rst.src_port = src_port;
+        rst.dst_port = dst_port;
+        rst.seq = seq;
+        rst.flags = wire::TcpSegment::kRst;
+        Ipv4Packet ip;
+        ip.protocol = wire::IpProto::kTcp;
+        ip.src = src_ip;  // spoofed: appears to come from the peer
+        ip.dst = dst_ip;
+        ip.payload = rst.serialize();
+        EthernetFrame frame;
+        frame.dst = dst_mac->second;
+        frame.src = config_.mac;
+        frame.ether_type = EtherType::kIpv4;
+        frame.payload = ip.serialize();
+        ++stats_.tcp_rsts_injected;
+        send(0, frame);
+    };
+
+    // Reset the receiver: after the relayed segment lands, its rcv_nxt is
+    // exactly seq + advance.
+    send_rst(relayed.src, relayed.dst, seg->src_port, seg->dst_port, seg->seq + advance);
+    // Reset the sender: its rcv_nxt is the segment's ack field.
+    if (seg->has(wire::TcpSegment::kAck)) {
+        send_rst(relayed.dst, relayed.src, seg->dst_port, seg->src_port, seg->ack);
+    }
+}
+
+}  // namespace arpsec::attack

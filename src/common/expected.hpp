@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace arpsec::common {
+
+/// Minimal expected/result type (C++23's std::expected is not yet available
+/// on this toolchain). The error type is a human-readable string: parse
+/// failures in this codebase are diagnostics, not control flow a caller
+/// dispatches on.
+template <class T>
+class Expected {
+public:
+    Expected(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+    static Expected failure(std::string message) {
+        return Expected{Err{std::move(message)}};
+    }
+
+    [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    [[nodiscard]] const T& value() const& {
+        assert(ok());
+        return std::get<T>(v_);
+    }
+    [[nodiscard]] T& value() & {
+        assert(ok());
+        return std::get<T>(v_);
+    }
+    [[nodiscard]] T&& value() && {
+        assert(ok());
+        return std::get<T>(std::move(v_));
+    }
+
+    [[nodiscard]] const std::string& error() const {
+        assert(!ok());
+        return std::get<Err>(v_).message;
+    }
+
+    const T* operator->() const { return &value(); }
+    const T& operator*() const { return value(); }
+
+private:
+    struct Err {
+        std::string message;
+    };
+    explicit Expected(Err e) : v_(std::move(e)) {}
+    std::variant<T, Err> v_;
+};
+
+}  // namespace arpsec::common

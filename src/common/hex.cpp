@@ -1,0 +1,65 @@
+#include "common/hex.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace arpsec::common {
+namespace {
+
+int nibble(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out.push_back(kDigits[b >> 4]);
+        out.push_back(kDigits[b & 0xF]);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+    if (hex.size() % 2 != 0) return {};
+    std::vector<std::uint8_t> out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) return {};
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+std::string hexdump(std::span<const std::uint8_t> bytes) {
+    std::string out;
+    char line[128];
+    for (std::size_t off = 0; off < bytes.size(); off += 16) {
+        int n = std::snprintf(line, sizeof(line), "%06zx  ", off);
+        out.append(line, static_cast<std::size_t>(n));
+        std::string ascii;
+        for (std::size_t i = 0; i < 16; ++i) {
+            if (off + i < bytes.size()) {
+                const std::uint8_t b = bytes[off + i];
+                n = std::snprintf(line, sizeof(line), "%02x ", b);
+                out.append(line, static_cast<std::size_t>(n));
+                ascii.push_back(std::isprint(b) != 0 ? static_cast<char>(b) : '.');
+            } else {
+                out.append("   ");
+            }
+            if (i == 7) out.push_back(' ');
+        }
+        out.append(" |").append(ascii).append("|\n");
+    }
+    return out;
+}
+
+}  // namespace arpsec::common

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace arpsec::common {
+
+/// Lowercase hex encoding of a byte span, no separators ("deadbeef").
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parses a hex string (even length, no separators). Returns empty on any
+/// malformed input.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Multi-line hexdump with offsets and an ASCII gutter, for diagnostics.
+[[nodiscard]] std::string hexdump(std::span<const std::uint8_t> bytes);
+
+}  // namespace arpsec::common

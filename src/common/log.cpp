@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+namespace arpsec::common {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+std::FILE* Log::sink_ = nullptr;
+
+namespace {
+
+const char* level_name(LogLevel l) {
+    switch (l) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { level_ = level; }
+LogLevel Log::level() { return level_; }
+void Log::set_sink(std::FILE* sink) { sink_ = sink; }
+
+void Log::write(LogLevel level, SimTime now, std::string_view component,
+                std::string_view message) {
+    if (!enabled(level)) return;
+    std::FILE* out = sink_ != nullptr ? sink_ : stderr;
+    std::fprintf(out, "[%12.6fs] %-5s %.*s: %.*s\n", now.to_seconds(), level_name(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace arpsec::common

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace arpsec::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration. Simulations are single-threaded, so no
+/// synchronization is needed; output goes to stderr by default.
+class Log {
+public:
+    static void set_level(LogLevel level);
+    static LogLevel level();
+    static void set_sink(std::FILE* sink);
+
+    /// Writes one line: "[ 1.234567s] WARN component: message".
+    static void write(LogLevel level, SimTime now, std::string_view component,
+                      std::string_view message);
+
+    static bool enabled(LogLevel level) { return level >= level_; }
+
+private:
+    static LogLevel level_;
+    static std::FILE* sink_;
+};
+
+}  // namespace arpsec::common

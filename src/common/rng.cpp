@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace arpsec::common {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97f4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+    // xoshiro must not be seeded with all zeros; splitmix64 output of any
+    // seed is astronomically unlikely to be all zero, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+    std::uint64_t mix = seed_;
+    std::uint64_t a = splitmix64(mix);
+    std::uint64_t b = stream_id;
+    std::uint64_t c = splitmix64(b);
+    return Rng{a ^ rotl(c, 17) ^ (stream_id * 0x9E3779B97f4A7C15ULL)};
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+}
+
+Duration Rng::next_exponential(Duration mean) {
+    double u = next_double();
+    // Avoid log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    const double ns = -std::log(u) * static_cast<double>(mean.count());
+    return Duration{static_cast<std::int64_t>(ns)};
+}
+
+Duration Rng::next_duration(Duration lo, Duration hi) {
+    return Duration{next_in(lo.count(), hi.count())};
+}
+
+}  // namespace arpsec::common

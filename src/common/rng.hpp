@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/time.hpp"
+
+namespace arpsec::common {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. Deterministic across platforms, unlike std::mt19937 paired
+/// with std::uniform_int_distribution whose outputs are
+/// implementation-defined. Every simulation entity derives its own stream
+/// from (run seed, entity id), so adding an entity does not perturb the
+/// random numbers other entities observe.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed);
+
+    /// Derives an independent child stream; `stream_id` distinguishes
+    /// siblings derived from the same parent.
+    [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling,
+    /// so the distribution is exactly uniform.
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Bernoulli trial.
+    bool chance(double p);
+
+    /// Exponentially distributed duration with the given mean (for Poisson
+    /// arrival processes).
+    Duration next_exponential(Duration mean);
+
+    /// Uniform duration in [lo, hi].
+    Duration next_duration(Duration lo, Duration hi);
+
+    // UniformRandomBitGenerator interface, so the Rng is usable with
+    // std::shuffle and friends.
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+    result_type operator()() { return next_u64(); }
+
+private:
+    std::uint64_t s_[4];
+    std::uint64_t seed_;
+};
+
+}  // namespace arpsec::common

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace arpsec::common {
+
+/// Accumulates scalar samples and reports summary statistics. Used for
+/// latency distributions in the evaluation harness and benches.
+class Summary {
+public:
+    void add(double v) { samples_.push_back(v); }
+
+    [[nodiscard]] std::size_t count() const { return samples_.size(); }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+    [[nodiscard]] double mean() const {
+        if (samples_.empty()) return 0.0;
+        double s = 0.0;
+        for (double v : samples_) s += v;
+        return s / static_cast<double>(samples_.size());
+    }
+
+    [[nodiscard]] double min() const {
+        return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+    }
+
+    [[nodiscard]] double max() const {
+        return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    /// q in [0,1]; nearest-rank on the sorted samples.
+    [[nodiscard]] double percentile(double q) const {
+        if (samples_.empty()) return 0.0;
+        std::vector<double> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        const auto n = sorted.size();
+        auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+        if (idx > 0) --idx;
+        if (idx >= n) idx = n - 1;
+        return sorted[idx];
+    }
+
+    [[nodiscard]] double median() const { return percentile(0.5); }
+
+    [[nodiscard]] double stddev() const {
+        if (samples_.size() < 2) return 0.0;
+        const double m = mean();
+        double acc = 0.0;
+        for (double v : samples_) acc += (v - m) * (v - m);
+        return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+    }
+
+    [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+    void merge(const Summary& other) {
+        samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    }
+
+private:
+    std::vector<double> samples_;
+};
+
+}  // namespace arpsec::common

@@ -1,0 +1,35 @@
+#include "common/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace arpsec::common {
+
+std::string Duration::to_string() const {
+    char buf[64];
+    const std::int64_t abs = ns_ < 0 ? -ns_ : ns_;
+    if (ns_ % 1'000'000'000 == 0) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64 "s", ns_ / 1'000'000'000);
+    } else if (ns_ % 1'000'000 == 0) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64 "ms", ns_ / 1'000'000);
+    } else if (ns_ % 1'000 == 0) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64 "us", ns_ / 1'000);
+    } else if (abs >= 1'000'000'000) {
+        std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+    } else if (abs >= 1'000'000) {
+        std::snprintf(buf, sizeof(buf), "%.2fms", to_millis());
+    } else if (abs >= 1'000) {
+        std::snprintf(buf, sizeof(buf), "%.2fus", to_micros());
+    } else {
+        std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns_);
+    }
+    return buf;
+}
+
+std::string SimTime::to_string() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
+    return buf;
+}
+
+}  // namespace arpsec::common

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "detect/scheme.hpp"
+
+namespace arpsec::core {
+
+/// Renders the qualitative half of the paper's comparison matrix (T2):
+/// scheme × {detects, prevents, vantage, protocol change, infra, crypto,
+/// DHCP dependence, dynamic-IP tolerance, costs}.
+[[nodiscard]] TextTable traits_matrix(const std::vector<detect::SchemeTraits>& traits);
+
+/// Renders the measured half of the matrix: per-scheme quantitative
+/// results from harness runs (interception under attack, delivery,
+/// TP/FP, detection latency, resolution latency, overheads). The byte
+/// overhead column compares each run against the baseline with matching
+/// addressing mode (`baseline_dhcp` may be null when no scheme ran under
+/// DHCP; such rows then print "-").
+[[nodiscard]] TextTable quantitative_matrix(const std::vector<ScenarioResult>& results,
+                                            const ScenarioResult* baseline,
+                                            const ScenarioResult* baseline_dhcp = nullptr);
+
+}  // namespace arpsec::core

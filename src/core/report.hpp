@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace arpsec::core {
+
+/// Column-aligned plain-text table (the output format of every bench
+/// binary, mirroring the rows the paper's tables report).
+class TextTable {
+public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    void set_headers(std::vector<std::string> headers) { headers_ = std::move(headers); }
+    void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    [[nodiscard]] std::string to_string() const;
+    void print() const { std::fputs(to_string().c_str(), stdout); }
+
+    /// RFC 4180-style CSV (quoted when needed); headers first, no title.
+    [[nodiscard]] std::string to_csv() const;
+    /// Writes the CSV to `path`; returns false on I/O failure.
+    bool write_csv(const std::string& path) const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Small formatting helpers shared by benches.
+[[nodiscard]] std::string fmt_percent(double ratio);
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+[[nodiscard]] std::string fmt_bool(bool v);
+
+}  // namespace arpsec::core

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arp/policy.hpp"
+#include "attack/attacker.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "crypto/cost_model.hpp"
+#include "detect/alert.hpp"
+
+namespace arpsec::core {
+
+enum class Addressing {
+    kStatic,  // administratively assigned addresses
+    kDhcp,    // hosts lease addresses from the gateway's DHCP server
+};
+
+[[nodiscard]] std::string to_string(Addressing a);
+
+/// What the adversary does during the attack window.
+enum class AttackKind {
+    kNone,           // benign run (baseline / false-positive measurement)
+    kMitm,           // poison victim<->gateway both ways and relay
+    kDosBlackhole,   // poison victim's gateway entry to a nonexistent MAC
+    kHijackOffline,  // impersonate the victim's IP while it is powered off
+    kReplyRace,      // answer the victim's requests faster than the owner
+};
+
+[[nodiscard]] std::string to_string(AttackKind k);
+
+/// Benign-churn generators (the false-positive stressors of figure F5).
+struct ChurnConfig {
+    /// Hosts that leave (DHCP release) and are replaced by a new machine
+    /// that receives the recycled IP — the classic arpwatch false alarm.
+    std::size_t dhcp_recycles = 0;
+    /// A host gets its NIC replaced: same IP, new MAC (static networks).
+    bool nic_swap = false;
+};
+
+struct ScenarioConfig {
+    std::string name = "scenario";
+    std::uint64_t seed = 1;
+    std::size_t host_count = 8;
+    Addressing addressing = Addressing::kStatic;
+    arp::CachePolicy host_policy = arp::CachePolicy::linux26();
+
+    common::Duration duration = common::Duration::seconds(60);
+    common::Duration attack_start = common::Duration::seconds(20);
+    common::Duration attack_stop = common::Duration::seconds(50);
+
+    AttackKind attack = AttackKind::kMitm;
+    attack::PoisonVector vector = attack::PoisonVector::kUnsolicitedReply;
+    common::Duration repoison_period = common::Duration::seconds(2);
+
+    /// Per-host traffic period toward the gateway (plus a reverse flow
+    /// gateway->victim so both MITM directions carry data).
+    common::Duration traffic_period = common::Duration::millis(200);
+
+    ChurnConfig churn;
+    crypto::CostModel cost_model;
+
+    /// IID frame-loss probability on every access link (robustness runs).
+    double link_loss = 0.0;
+
+    /// DHCP lease time (short leases exercise renewals within a run).
+    std::uint32_t lease_seconds = 120;
+};
+
+/// Alert bookkeeping against ground truth.
+struct AlertBreakdown {
+    std::uint64_t true_positives = 0;
+    std::uint64_t false_positives = 0;
+    /// Time from attack start to the first true-positive alert.
+    std::optional<common::Duration> detection_latency;
+};
+
+struct WindowStats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t intercepted = 0;
+
+    [[nodiscard]] double delivery_ratio() const {
+        return sent == 0 ? 1.0 : static_cast<double>(delivered) / static_cast<double>(sent);
+    }
+    [[nodiscard]] double interception_ratio() const {
+        return sent == 0 ? 0.0 : static_cast<double>(intercepted) / static_cast<double>(sent);
+    }
+};
+
+struct ScenarioResult {
+    std::string scheme_name;
+    ScenarioConfig config;
+
+    // Ground-truth attack efficacy.
+    WindowStats benign_window;
+    WindowStats attack_window;
+    /// The targeted victim's own flow during the attack window (a DoS on
+    /// one station is invisible in fleet-wide ratios).
+    WindowStats victim_flow_attack_window;
+    bool victim_poisoned_at_end = false;
+    bool attack_succeeded = false;
+
+    // Detection.
+    AlertBreakdown alerts;
+    std::vector<detect::Alert> raw_alerts;
+
+    // Overhead.
+    std::uint64_t total_frames = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t arp_frames = 0;
+    std::uint64_t arp_bytes = 0;
+    common::Summary resolution_latency_us;  // pooled over all hosts
+    crypto::OpCounters crypto_ops;
+    std::uint64_t events_executed = 0;
+
+    [[nodiscard]] std::string summary_line() const;
+};
+
+}  // namespace arpsec::core

@@ -1,0 +1,124 @@
+#include "core/taxonomy.hpp"
+
+#include "host/host.hpp"
+#include "l2/switch.hpp"
+#include "sim/network.hpp"
+
+namespace arpsec::core {
+
+using common::Duration;
+using common::SimTime;
+using wire::Ipv4Address;
+using wire::MacAddress;
+
+std::string to_string(InitialEntry e) {
+    switch (e) {
+        case InitialEntry::kAbsent: return "absent";
+        case InitialEntry::kFresh: return "fresh";
+        case InitialEntry::kAged: return "aged";
+    }
+    return "?";
+}
+
+TaxonomyOutcome evaluate_poison_case(const TaxonomyCase& c) {
+    sim::Network net(c.seed);
+    auto& fabric = net.emplace_node<l2::Switch>("switch", 4);
+
+    const Ipv4Address victim_ip{192, 168, 1, 10};
+    const Ipv4Address owner_ip{192, 168, 1, 20};
+    const MacAddress victim_mac = MacAddress::local(10);
+    const MacAddress owner_mac = MacAddress::local(20);
+    const MacAddress attacker_mac = MacAddress::local(0x666);
+
+    host::HostConfig vcfg;
+    vcfg.name = "victim";
+    vcfg.mac = victim_mac;
+    vcfg.static_ip = victim_ip;
+    vcfg.arp_policy = c.policy;
+    // Boot-time announcements are suppressed so the victim's cache holds
+    // exactly the state the case specifies (gratuitous-accepting policies
+    // would otherwise pre-populate the "absent" cells).
+    vcfg.gratuitous_announce = false;
+    auto& victim = net.emplace_node<host::Host>(vcfg);
+
+    host::HostConfig ocfg;
+    ocfg.name = "owner";
+    ocfg.mac = owner_mac;
+    ocfg.static_ip = owner_ip;
+    ocfg.arp_policy = c.policy;
+    ocfg.gratuitous_announce = false;
+    auto& owner = net.emplace_node<host::Host>(ocfg);
+    (void)owner;
+
+    attack::Attacker::Config acfg;
+    acfg.mac = attacker_mac;
+    auto& attacker = net.emplace_node<attack::Attacker>(acfg);
+
+    net.connect({victim.id(), 0}, {fabric.id(), 0});
+    net.connect({owner.id(), 0}, {fabric.id(), 1});
+    net.connect({attacker.id(), 0}, {fabric.id(), 2});
+
+    auto& sched = net.scheduler();
+    const bool race = c.vector == attack::PoisonVector::kReplyRace;
+
+    // Prime the victim's cache unless the case starts from an empty entry.
+    if (c.initial != InitialEntry::kAbsent) {
+        sched.schedule_at(SimTime::zero() + Duration::seconds(1), [&victim, owner_ip] {
+            victim.resolve(owner_ip, [](auto) {});
+        });
+    }
+
+    // Aged entries: wait past any refresh guard (Solaris-style) but within
+    // the entry TTL before attacking.
+    const Duration attack_at = c.initial == InitialEntry::kAged
+                                   ? Duration::seconds(40)
+                                   : Duration::seconds(3);
+
+    sched.schedule_at(SimTime::zero() + attack_at, [&, owner_ip, victim_ip, victim_mac] {
+        if (race) {
+            // Attack tools answer from userspace ring buffers in a few
+            // microseconds — faster than a victim stack's ~15us turnaround.
+            attacker.enable_reply_race(owner_ip, attacker.mac(), Duration::micros(5));
+            // The race is triggered by the victim's own (re-)resolution.
+            victim.arp_cache().evict(owner_ip);
+            victim.resolve(owner_ip, [](auto) {});
+            return;
+        }
+        attack::PoisonCampaign campaign;
+        campaign.victim_ip = victim_ip;
+        campaign.victim_mac = victim_mac;
+        campaign.spoofed_ip = owner_ip;
+        campaign.claimed_mac = attacker.mac();
+        campaign.vector = c.vector;
+        campaign.period = Duration::zero();  // single shot
+        attacker.start_poison(campaign);
+    });
+
+    net.start_all();
+    sched.run_until(SimTime::zero() + attack_at + Duration::seconds(2));
+
+    TaxonomyOutcome out;
+    if (const auto entry = victim.arp_cache().peek(owner_ip)) {
+        out.poisoned = entry->mac == attacker.mac();
+    }
+    return out;
+}
+
+std::vector<TaxonomyCase> full_taxonomy_sweep() {
+    std::vector<TaxonomyCase> cases;
+    for (const auto& policy : arp::CachePolicy::all_profiles()) {
+        for (auto vector : {attack::PoisonVector::kUnsolicitedReply,
+                            attack::PoisonVector::kForgedRequest,
+                            attack::PoisonVector::kGratuitousRequest,
+                            attack::PoisonVector::kGratuitousReply,
+                            attack::PoisonVector::kReplyRace}) {
+            for (auto initial :
+                 {InitialEntry::kAbsent, InitialEntry::kFresh, InitialEntry::kAged}) {
+                cases.push_back(TaxonomyCase{policy, vector, initial, 1});
+            }
+        }
+    }
+    return cases;
+}
+
+}  // namespace arpsec::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arp/policy.hpp"
+#include "attack/attacker.hpp"
+
+namespace arpsec::core {
+
+/// Cache state of the victim's entry for the target IP when the poisoning
+/// packet arrives. Susceptibility differs sharply across states (notably
+/// for policies with a refresh guard, and for create-vs-update rules).
+enum class InitialEntry {
+    kAbsent,  // victim never resolved the IP
+    kFresh,   // resolved moments ago
+    kAged,    // resolved long ago (past any refresh guard, within TTL)
+};
+
+[[nodiscard]] std::string to_string(InitialEntry e);
+
+struct TaxonomyCase {
+    arp::CachePolicy policy;
+    attack::PoisonVector vector = attack::PoisonVector::kUnsolicitedReply;
+    InitialEntry initial = InitialEntry::kFresh;
+    std::uint64_t seed = 1;
+};
+
+struct TaxonomyOutcome {
+    bool poisoned = false;  // victim cache maps the IP to the attacker MAC
+};
+
+/// Runs one micro-scenario: victim + legitimate owner + attacker on one
+/// switch; a single application of the poison vector; returns whether the
+/// victim's cache ended up poisoned. The full sweep of (policy × vector ×
+/// state) reproduces the attack-taxonomy table T1.
+[[nodiscard]] TaxonomyOutcome evaluate_poison_case(const TaxonomyCase& c);
+
+/// All (policy, vector, state) combinations for the sweep.
+[[nodiscard]] std::vector<TaxonomyCase> full_taxonomy_sweep();
+
+}  // namespace arpsec::core

@@ -1,0 +1,41 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace arpsec::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+    constexpr std::size_t kBlockSize = 64;
+    std::array<std::uint8_t, kBlockSize> key_block{};
+    if (key.size() > kBlockSize) {
+        const Digest kd = Sha256::hash(key);
+        std::copy(kd.begin(), kd.end(), key_block.begin());
+    } else {
+        std::copy(key.begin(), key.end(), key_block.begin());
+    }
+
+    std::array<std::uint8_t, kBlockSize> ipad{};
+    std::array<std::uint8_t, kBlockSize> opad{};
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(ipad);
+    inner.update(message);
+    const Digest inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(opad);
+    outer.update(inner_digest);
+    return outer.finish();
+}
+
+bool digest_equal(const Digest& a, const Digest& b) {
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return diff == 0;
+}
+
+}  // namespace arpsec::crypto

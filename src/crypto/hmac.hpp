@@ -1,0 +1,18 @@
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace arpsec::crypto {
+
+/// HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors.
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message);
+
+/// Constant-pattern comparison helper (simulation code does not need
+/// timing resistance, but centralizing the comparison keeps call sites
+/// honest about comparing full digests).
+[[nodiscard]] bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace arpsec::crypto

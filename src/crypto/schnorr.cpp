@@ -1,0 +1,176 @@
+#include "crypto/schnorr.hpp"
+
+#include <cassert>
+
+namespace arpsec::crypto {
+namespace {
+
+using U128 = unsigned __int128;
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+    return static_cast<std::uint64_t>(static_cast<U128>(a) * b % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+    std::uint64_t result = 1;
+    base %= m;
+    while (exp > 0) {
+        if ((exp & 1) != 0) result = mulmod(result, base, m);
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    return result;
+}
+
+/// Hash-to-scalar: H(domain || parts...) reduced mod q.
+std::uint64_t hash_to_scalar(const SchnorrGroup& group, std::string_view domain,
+                             std::initializer_list<std::span<const std::uint8_t>> parts) {
+    Sha256 h;
+    h.update(domain);
+    for (auto part : parts) h.update(part);
+    std::uint64_t v = digest_prefix_u64(h.finish()) % group.q();
+    if (v == 0) v = 1;  // scalars must be non-zero
+    return v;
+}
+
+std::array<std::uint8_t, 8> u64_bytes(std::uint64_t v) {
+    std::array<std::uint8_t, 8> b{};
+    for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    return b;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) {
+    if (n < 2) return false;
+    for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+                            31ULL, 37ULL}) {
+        if (n % p == 0) return n == p;
+    }
+    std::uint64_t d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This witness set is deterministic for all n < 2^64.
+    for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+                            31ULL, 37ULL}) {
+        std::uint64_t x = powmod(a, d, n);
+        if (x == 1 || x == n - 1) continue;
+        bool composite = true;
+        for (int i = 1; i < r; ++i) {
+            x = mulmod(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite) return false;
+    }
+    return true;
+}
+
+SchnorrGroup::SchnorrGroup() {
+    // Safe-prime construction: the largest q < 2^61 with both q and
+    // p = 2q + 1 prime (so p < 2^62 and 128-bit mulmod never overflows).
+    // The search is deterministic and self-verifying (Miller-Rabin exact
+    // for 64-bit inputs); it lands on q = 2305843009213688669.
+    for (std::uint64_t q = (1ULL << 61) - 1;; --q) {
+        if (is_prime_u64(q) && is_prime_u64(2 * q + 1)) {
+            q_ = q;
+            p_ = 2 * q + 1;
+            break;
+        }
+    }
+    // Any quadratic residue generates the order-q subgroup; 2^2 = 4 works.
+    g_ = 4;
+    assert(g_ != 1 && powmod(g_, q_, p_) == 1);
+}
+
+const SchnorrGroup& SchnorrGroup::standard() {
+    static const SchnorrGroup group;
+    return group;
+}
+
+std::uint64_t SchnorrGroup::pow_mod_p(std::uint64_t base, std::uint64_t exp) const {
+    return powmod(base, exp, p_);
+}
+
+std::uint64_t SchnorrGroup::mul_mod_p(std::uint64_t a, std::uint64_t b) const {
+    return mulmod(a, b, p_);
+}
+
+wire::Bytes Signature::serialize() const {
+    wire::Bytes out;
+    wire::ByteWriter w{out};
+    w.u64(e);
+    w.u64(s);
+    return out;
+}
+
+Signature Signature::deserialize(std::span<const std::uint8_t> data) {
+    wire::ByteReader r{data};
+    Signature sig;
+    sig.e = r.u64();
+    sig.s = r.u64();
+    if (!r.ok()) return Signature{};  // (0,0) never verifies
+    return sig;
+}
+
+wire::Bytes PublicKey::serialize() const {
+    wire::Bytes out;
+    wire::ByteWriter w{out};
+    w.u64(y_);
+    return out;
+}
+
+PublicKey PublicKey::deserialize(std::span<const std::uint8_t> data) {
+    wire::ByteReader r{data};
+    const std::uint64_t y = r.u64();
+    return r.ok() ? PublicKey{y} : PublicKey{};
+}
+
+KeyPair KeyPair::derive(std::uint64_t seed) {
+    const auto& group = SchnorrGroup::standard();
+    const auto seed_bytes = u64_bytes(seed);
+    const std::uint64_t sk = hash_to_scalar(group, "arpsec.keygen.v1", {seed_bytes});
+    const std::uint64_t y = group.pow_mod_p(group.g(), sk);
+    return KeyPair{sk, PublicKey{y}};
+}
+
+Signature KeyPair::sign(std::span<const std::uint8_t> message) const {
+    const auto& group = SchnorrGroup::standard();
+    // Deterministic nonce derived from the secret key and the message
+    // (RFC 6979 in spirit): never reuses a nonce across messages.
+    const auto sk_bytes = u64_bytes(sk_);
+    const std::uint64_t k = hash_to_scalar(group, "arpsec.nonce.v1", {sk_bytes, message});
+    const std::uint64_t r = group.pow_mod_p(group.g(), k);
+    const auto r_bytes = u64_bytes(r);
+    const std::uint64_t e = hash_to_scalar(group, "arpsec.challenge.v1", {r_bytes, message});
+    // s = k + e * sk (mod q)
+    const std::uint64_t es =
+        static_cast<std::uint64_t>(static_cast<U128>(e) * sk_ % group.q());
+    const std::uint64_t s = (k + es) % group.q();
+    return Signature{e, s};
+}
+
+bool PublicKey::verify(std::span<const std::uint8_t> message, const Signature& sig) const {
+    const auto& group = SchnorrGroup::standard();
+    if (!valid() || sig.e == 0 || sig.e >= group.q() || sig.s >= group.q()) return false;
+    // r' = g^s * y^(-e) = g^s * y^(q - e)
+    const std::uint64_t gs = group.pow_mod_p(group.g(), sig.s);
+    const std::uint64_t ye = group.pow_mod_p(y_, group.q() - sig.e);
+    const std::uint64_t r = group.mul_mod_p(gs, ye);
+    const auto r_bytes = u64_bytes(r);
+    Sha256 h;
+    h.update("arpsec.challenge.v1");
+    h.update(r_bytes);
+    h.update(message);
+    std::uint64_t e = digest_prefix_u64(h.finish()) % group.q();
+    if (e == 0) e = 1;
+    return e == sig.e;
+}
+
+}  // namespace arpsec::crypto

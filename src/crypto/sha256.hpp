@@ -1,0 +1,48 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace arpsec::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4). Implemented from scratch so the
+/// framework has no external crypto dependency; validated against the FIPS
+/// test vectors in tests/crypto_test.cpp.
+class Sha256 {
+public:
+    Sha256();
+
+    void update(std::span<const std::uint8_t> data);
+    void update(std::string_view text);
+
+    /// Finalizes and returns the digest. The object must not be updated
+    /// afterwards (reset() starts a new hash).
+    Digest finish();
+
+    void reset();
+
+    static Digest hash(std::span<const std::uint8_t> data);
+    static Digest hash(std::string_view text);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_{};
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffer_len_ = 0;
+    std::uint64_t total_len_ = 0;
+};
+
+/// Digest rendered as lowercase hex.
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+/// First 8 bytes of the digest as a big-endian integer (used to derive
+/// scalars and short commitments).
+[[nodiscard]] std::uint64_t digest_prefix_u64(const Digest& d);
+
+}  // namespace arpsec::crypto

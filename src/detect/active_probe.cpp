@@ -1,0 +1,119 @@
+#include "detect/active_probe.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+namespace arpsec::detect {
+
+class ActiveProbeScheme::Prober final : public TrafficObserver,
+                                        public std::enable_shared_from_this<Prober> {
+public:
+    Prober(ActiveProbeScheme::Options options, std::function<void(Alert)> raise)
+        : options_(options), raise_(std::move(raise)) {}
+
+    void on_observed(MonitorNode& monitor, common::SimTime at, const wire::EthernetFrame& frame,
+                     const wire::ArpPacket* arp) override {
+        (void)frame;
+        if (arp == nullptr || arp->sender_ip.is_any() || arp->sender_mac.is_zero()) return;
+        const wire::Ipv4Address ip = arp->sender_ip;
+        const wire::MacAddress mac = arp->sender_mac;
+
+        // Evidence for an in-flight verification?
+        if (auto it = probes_.find(ip); it != probes_.end()) {
+            Probe& p = it->second;
+            if (mac == p.old_mac) {
+                // Old station still alive while a new MAC claims the IP:
+                // attack confirmed.
+                monitor.network().scheduler().cancel(p.timeout_event);
+                Alert a;
+                a.kind = AlertKind::kSpoofSuspected;
+                a.ip = ip;
+                a.claimed_mac = p.new_mac;
+                a.previous_mac = p.old_mac;
+                a.detail = "both stations answered for one IP";
+                raise_(std::move(a));
+                last_alert_[ip] = at;
+                probes_.erase(it);
+            }
+            return;
+        }
+
+        auto it = db_.find(ip);
+        if (it == db_.end()) {
+            db_[ip] = mac;
+            return;
+        }
+        if (it->second == mac) return;
+
+        // Conflicting claim: under backoff, skip re-verification.
+        if (auto la = last_alert_.find(ip);
+            la != last_alert_.end() && at - la->second < options_.realert_backoff) {
+            return;
+        }
+
+        // Start verification: unicast probe to the previously known MAC.
+        Probe p;
+        p.old_mac = it->second;
+        p.new_mac = mac;
+        auto self = shared_from_this();
+        MonitorNode* mon = &monitor;
+        p.timeout_event = monitor.network().scheduler().schedule_after(
+            options_.probe_timeout, [self, mon, ip] { self->probe_timeout(*mon, ip); });
+        probes_[ip] = p;
+
+        wire::EthernetFrame probe;
+        probe.dst = p.old_mac;
+        probe.ether_type = wire::EtherType::kArp;
+        // Sender IP zero: a neutral probe that cannot poison any cache.
+        probe.payload =
+            wire::ArpPacket::request(monitor.mac(), wire::Ipv4Address::any(), ip).serialize();
+        monitor.transmit(std::move(probe));
+        ++probes_sent_;
+    }
+
+    void probe_timeout(MonitorNode&, wire::Ipv4Address ip) {
+        auto it = probes_.find(ip);
+        if (it == probes_.end()) return;
+        // Old station silent: legitimate rebind; update quietly.
+        db_[ip] = it->second.new_mac;
+        probes_.erase(it);
+    }
+
+    [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+
+private:
+    struct Probe {
+        wire::MacAddress old_mac;
+        wire::MacAddress new_mac;
+        sim::EventId timeout_event = 0;
+    };
+
+    ActiveProbeScheme::Options options_;
+    std::function<void(Alert)> raise_;
+    std::unordered_map<wire::Ipv4Address, wire::MacAddress> db_;
+    std::unordered_map<wire::Ipv4Address, Probe> probes_;
+    std::unordered_map<wire::Ipv4Address, common::SimTime> last_alert_;
+    std::uint64_t probes_sent_ = 0;
+};
+
+SchemeTraits ActiveProbeScheme::traits() const {
+    SchemeTraits t;
+    t.name = "active-probe";
+    t.vantage = "monitor";
+    t.detects = true;
+    t.prevents_poisoning = false;
+    t.requires_infrastructure = true;
+    t.handles_dynamic_ips = true;  // probe distinguishes rebind from attack
+    t.deployment_cost = CostBand::kLow;
+    t.runtime_cost = CostBand::kLow;  // one probe per conflicting claim
+    t.notes = "XArp-class verification; needs the old station online to confirm";
+    return t;
+}
+
+void ActiveProbeScheme::attach_monitor(MonitorNode& monitor) {
+    monitor.add_observer(std::make_shared<Prober>(options_, [this](Alert a) {
+        alert(std::move(a));
+    }));
+}
+
+}  // namespace arpsec::detect

@@ -1,0 +1,28 @@
+#include "detect/alert.hpp"
+
+namespace arpsec::detect {
+
+std::string to_string(AlertKind k) {
+    switch (k) {
+        case AlertKind::kSpoofSuspected: return "spoof-suspected";
+        case AlertKind::kIpMacChange: return "ip-mac-change";
+        case AlertKind::kFlipFlop: return "flip-flop";
+        case AlertKind::kUnsignedArp: return "unsigned-arp";
+        case AlertKind::kBindingViolation: return "binding-violation";
+        case AlertKind::kInconsistentHeader: return "inconsistent-header";
+        case AlertKind::kUnicastRequest: return "unicast-request";
+        case AlertKind::kPortSecurity: return "port-security";
+        case AlertKind::kRogueDhcp: return "rogue-dhcp";
+        case AlertKind::kRateAnomaly: return "rate-anomaly";
+    }
+    return "?";
+}
+
+std::string Alert::to_string() const {
+    return "[" + at.to_string() + "] " + scheme + ": " + detect::to_string(kind) + " ip=" +
+           ip.to_string() + " claimed=" + claimed_mac.to_string() +
+           (previous_mac.is_zero() ? "" : " was=" + previous_mac.to_string()) +
+           (detail.empty() ? "" : " (" + detail + ")");
+}
+
+}  // namespace arpsec::detect

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Kernel-patch approach #1 (Anticap): refuse any ARP packet that would
+/// *overwrite* a live cache entry with a different MAC. Cheap and local,
+/// but (a) cannot stop the *creation* of fake entries for addresses not
+/// yet cached, and (b) also rejects legitimate rebinding, freezing stale
+/// bindings until TTL expiry.
+class AnticapScheme final : public Scheme {
+public:
+    [[nodiscard]] SchemeTraits traits() const override;
+    void protect_host(host::Host& host) override;
+};
+
+}  // namespace arpsec::detect

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "common/time.hpp"
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Kernel-patch approach #2 (Antidote): when an ARP packet would change an
+/// existing binding, hold it and probe the previously known MAC. If the old
+/// station still answers, the change is rejected (and the new claimant
+/// flagged); if the probe times out, the change is accepted as a legitimate
+/// rebind. Fixes Anticap's false-rejection of legitimate changes, but the
+/// probe can be defeated (attack while the old station is offline, or race
+/// the probe answer) and creations are still unguarded.
+class AntidoteScheme final : public Scheme {
+public:
+    struct Options {
+        common::Duration probe_timeout = common::Duration::millis(500);
+    };
+
+    AntidoteScheme() = default;
+    explicit AntidoteScheme(Options options) : options_(options) {}
+
+    [[nodiscard]] SchemeTraits traits() const override;
+    void protect_host(host::Host& host) override;
+
+    [[nodiscard]] const Options& options() const { return options_; }
+
+private:
+    Options options_;
+};
+
+}  // namespace arpsec::detect

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "common/time.hpp"
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Passive database detector (arpwatch): learns (IP, MAC) pairings from
+/// observed ARP traffic and alerts when a known IP moves to a different
+/// MAC ("changed ethernet address") or oscillates ("flip flop"). Zero
+/// runtime overhead and no host changes, but it cannot prevent anything
+/// and legitimate DHCP reassignment raises the same alerts as an attack.
+class ArpwatchScheme final : public Scheme {
+public:
+    struct Options {
+        /// A change back to a recently seen MAC within this window is
+        /// reported as a flip-flop instead of a plain change.
+        common::Duration flipflop_window = common::Duration::seconds(60);
+    };
+
+    ArpwatchScheme() = default;
+    explicit ArpwatchScheme(Options options) : options_(options) {}
+
+    [[nodiscard]] SchemeTraits traits() const override;
+    void attach_monitor(MonitorNode& monitor) override;
+
+    /// Number of stations currently in the database (for tests/examples).
+    [[nodiscard]] std::size_t stations() const;
+
+private:
+    class Watcher;
+    Options options_;
+    std::shared_ptr<Watcher> watcher_;
+};
+
+}  // namespace arpsec::detect

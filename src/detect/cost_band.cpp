@@ -1,0 +1,15 @@
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+std::string to_string(CostBand c) {
+    switch (c) {
+        case CostBand::kNone: return "none";
+        case CostBand::kLow: return "low";
+        case CostBand::kMedium: return "medium";
+        case CostBand::kHigh: return "high";
+    }
+    return "?";
+}
+
+}  // namespace arpsec::detect

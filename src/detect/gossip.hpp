@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Cooperative (gossip) detection: protected hosts periodically broadcast
+/// a digest of their ARP caches over UDP; every host cross-checks received
+/// digests against its own cache and flags conflicting bindings — a
+/// poisoned victim stands out because its view of (IP -> MAC) disagrees
+/// with the rest of the LAN. Purely host-based and protocol-compatible
+/// (plain UDP), but the gossip itself is unauthenticated and transient
+/// disagreement during legitimate rebinding can false-alarm.
+class GossipScheme final : public Scheme {
+public:
+    struct Options {
+        common::Duration gossip_period = common::Duration::seconds(5);
+        std::uint16_t udp_port = 3320;
+        /// Evict the local entry when a quorum of peers disagree with it
+        /// (turns the detector into a self-healing semi-preventer).
+        bool evict_on_conflict = true;
+        /// Alerts for the same (ip, mac) pair are suppressed for this long.
+        common::Duration realert_backoff = common::Duration::seconds(10);
+    };
+
+    GossipScheme();
+    explicit GossipScheme(Options options);
+    ~GossipScheme() override;  // out of line: Agent is incomplete here
+
+    [[nodiscard]] SchemeTraits traits() const override;
+    void protect_host(host::Host& host) override;
+
+private:
+    class Agent;
+    Options options_;
+    std::vector<std::unique_ptr<Agent>> agents_;
+};
+
+}  // namespace arpsec::detect

@@ -1,0 +1,126 @@
+#include "detect/lease_monitor.hpp"
+
+#include <map>
+
+#include "wire/dhcp_message.hpp"
+#include "wire/ipv4_packet.hpp"
+#include "wire/udp_datagram.hpp"
+
+namespace arpsec::detect {
+
+using common::Duration;
+using common::SimTime;
+using wire::Ipv4Address;
+using wire::MacAddress;
+
+class LeaseMonitorScheme::Observer final : public TrafficObserver {
+public:
+    Observer(LeaseMonitorScheme::Options options, std::function<void(Alert)> raise)
+        : options_(options), raise_(std::move(raise)) {}
+
+    void on_observed(MonitorNode&, SimTime at, const wire::EthernetFrame& frame,
+                     const wire::ArpPacket* arp) override {
+        if (arp != nullptr) {
+            check_arp(at, *arp);
+            return;
+        }
+        if (frame.ether_type != wire::EtherType::kIpv4) return;
+        auto ip = wire::Ipv4Packet::parse(frame.payload);
+        if (!ip.ok()) return;
+        if (ip->protocol == wire::IpProto::kUdp) {
+            if (auto udp = wire::UdpDatagram::parse(ip->payload); udp.ok()) {
+                if (udp->dst_port == wire::DhcpMessage::kClientPort ||
+                    udp->dst_port == wire::DhcpMessage::kServerPort) {
+                    if (auto dhcp = wire::DhcpMessage::parse(udp->payload); dhcp.ok()) {
+                        snoop_dhcp(at, dhcp.value());
+                        return;
+                    }
+                }
+            }
+        }
+        if (options_.check_ip_traffic && !ip->src.is_any()) {
+            check_source(at, ip->src, frame.src);
+        }
+    }
+
+    [[nodiscard]] std::size_t lease_count() const { return leases_.size(); }
+
+private:
+    struct Lease {
+        MacAddress mac;
+        SimTime expires;
+    };
+
+    void snoop_dhcp(SimTime at, const wire::DhcpMessage& m) {
+        if (!m.is_reply()) {
+            if (m.message_type == wire::DhcpMessageType::kRelease && !m.ciaddr.is_any()) {
+                leases_.erase(m.ciaddr);
+            }
+            return;
+        }
+        if (m.message_type != wire::DhcpMessageType::kAck || m.yiaddr.is_any()) return;
+        const auto lease_s = m.lease_seconds.value_or(3600);
+        leases_[m.yiaddr] =
+            Lease{m.chaddr, at + Duration::seconds(static_cast<std::int64_t>(lease_s))};
+    }
+
+    void check_arp(SimTime at, const wire::ArpPacket& arp) {
+        if (arp.sender_ip.is_any() || arp.sender_mac.is_zero()) return;
+        check_source(at, arp.sender_ip, arp.sender_mac);
+    }
+
+    void check_source(SimTime at, Ipv4Address ip, MacAddress mac) {
+        auto it = leases_.find(ip);
+        if (it == leases_.end()) return;  // not lease-managed: out of scope
+        if (it->second.expires < at) {
+            leases_.erase(it);
+            return;
+        }
+        if (it->second.mac == mac) return;
+        const std::uint64_t key = ip.value() ^ (mac.to_u64() << 8);
+        if (auto la = last_alert_.find(key);
+            la != last_alert_.end() && at - la->second < options_.realert_backoff) {
+            return;
+        }
+        last_alert_[key] = at;
+        Alert a;
+        a.kind = AlertKind::kBindingViolation;
+        a.ip = ip;
+        a.claimed_mac = mac;
+        a.previous_mac = it->second.mac;
+        a.detail = "claim contradicts snooped DHCP lease";
+        raise_(std::move(a));
+    }
+
+    LeaseMonitorScheme::Options options_;
+    std::function<void(Alert)> raise_;
+    std::unordered_map<Ipv4Address, Lease> leases_;
+    std::map<std::uint64_t, SimTime> last_alert_;
+};
+
+SchemeTraits LeaseMonitorScheme::traits() const {
+    SchemeTraits t;
+    t.name = "lease-monitor";
+    t.vantage = "monitor";
+    t.detects = true;
+    t.prevents_poisoning = false;  // observes the mirror: no enforcement
+    t.requires_infrastructure = true;  // monitoring station on a SPAN port
+    t.depends_on_dhcp = true;
+    t.handles_dynamic_ips = true;  // the lease table *is* the churn
+    t.deployment_cost = CostBand::kLow;
+    t.runtime_cost = CostBand::kNone;
+    t.notes = "software DAI: lease-validated detection without managed switches; "
+              "blind to statically addressed stations";
+    return t;
+}
+
+void LeaseMonitorScheme::attach_monitor(MonitorNode& monitor) {
+    observer_ = std::make_shared<Observer>(options_, [this](Alert a) { alert(std::move(a)); });
+    monitor.add_observer(observer_);
+}
+
+std::size_t LeaseMonitorScheme::lease_count() const {
+    return observer_ ? observer_->lease_count() : 0;
+}
+
+}  // namespace arpsec::detect

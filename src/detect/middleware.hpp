@@ -1,0 +1,33 @@
+#pragma once
+
+#include "common/time.hpp"
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Host middleware approach (Tripunitara & Dutta): an interposition layer
+/// between the NIC and the OS ARP stack that treats cache updates as a
+/// discrete-event stream. Every *new or changed* binding is quarantined
+/// while the middleware broadcasts its own request for the IP and collects
+/// claims; a unanimous answer is admitted, conflicting answers are rejected
+/// and alerted. Guards creations as well as overwrites (unlike
+/// Anticap/Antidote), needs no protocol change or infrastructure, but
+/// delays first contact with every new station by the verification window.
+class MiddlewareScheme final : public Scheme {
+public:
+    struct Options {
+        common::Duration verification_window = common::Duration::millis(300);
+    };
+
+    MiddlewareScheme() = default;
+    explicit MiddlewareScheme(Options options) : options_(options) {}
+
+    [[nodiscard]] SchemeTraits traits() const override;
+    void protect_host(host::Host& host) override;
+
+private:
+    class Hook;
+    Options options_;
+};
+
+}  // namespace arpsec::detect

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "wire/arp_packet.hpp"
+
+namespace arpsec::detect {
+
+class MonitorNode;
+
+/// Receives every frame the monitor's promiscuous NIC sees (via the
+/// switch's SPAN/mirror port — the libpcap vantage point of arpwatch,
+/// Snort, and XArp-style tools).
+class TrafficObserver {
+public:
+    virtual ~TrafficObserver() = default;
+    /// `arp` is non-null when the frame carries a parsable ARP packet.
+    virtual void on_observed(MonitorNode& monitor, common::SimTime at,
+                             const wire::EthernetFrame& frame, const wire::ArpPacket* arp) = 0;
+};
+
+/// Dedicated passive-monitoring station plugged into the switch mirror
+/// port. Active-verification schemes may also transmit probes through it.
+class MonitorNode final : public sim::Node {
+public:
+    MonitorNode(std::string name, wire::MacAddress mac)
+        : sim::Node(std::move(name)), mac_(mac) {}
+
+    void on_frame(sim::PortId in_port, const wire::EthernetFrame& frame,
+                  std::span<const std::uint8_t> raw) override {
+        (void)in_port;
+        (void)raw;
+        if (frame.src == mac_) return;  // our own probes mirrored back
+        ++frames_seen_;
+        const wire::ArpPacket* arp = nullptr;
+        wire::ArpPacket parsed;
+        if (frame.ether_type == wire::EtherType::kArp) {
+            if (auto p = wire::ArpPacket::parse(frame.payload); p.ok()) {
+                parsed = p.value();
+                arp = &parsed;
+            }
+        }
+        // Copy to guard against observers added during iteration.
+        const auto observers = observers_;
+        for (const auto& obs : observers) obs->on_observed(*this, network().now(), frame, arp);
+    }
+
+    void add_observer(std::shared_ptr<TrafficObserver> obs) {
+        observers_.push_back(std::move(obs));
+    }
+
+    /// Transmits a frame (active probing). Sets the frame source to the
+    /// monitor's own MAC.
+    void transmit(wire::EthernetFrame frame) {
+        frame.src = mac_;
+        send(0, frame);
+    }
+
+    [[nodiscard]] wire::MacAddress mac() const { return mac_; }
+    [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+
+private:
+    wire::MacAddress mac_;
+    std::vector<std::shared_ptr<TrafficObserver>> observers_;
+    std::uint64_t frames_seen_ = 0;
+};
+
+}  // namespace arpsec::detect

@@ -1,0 +1,50 @@
+#include "detect/registry.hpp"
+
+#include "detect/active_probe.hpp"
+#include "detect/anticap.hpp"
+#include "detect/antidote.hpp"
+#include "detect/arpwatch.hpp"
+#include "detect/gossip.hpp"
+#include "detect/lease_monitor.hpp"
+#include "detect/middleware.hpp"
+#include "detect/sarp.hpp"
+#include "detect/snort_preprocessor.hpp"
+#include "detect/static_entries.hpp"
+#include "detect/switch_schemes.hpp"
+#include "detect/tarp.hpp"
+
+namespace arpsec::detect {
+
+std::vector<RegisteredScheme> all_schemes() {
+    return {
+        {"none", [] { return std::make_unique<NullScheme>(); }},
+        {"static-entries", [] { return std::make_unique<StaticEntriesScheme>(); }},
+        {"arpwatch", [] { return std::make_unique<ArpwatchScheme>(); }},
+        {"snort-arpspoof", [] { return std::make_unique<SnortPreprocessorScheme>(); }},
+        {"active-probe", [] { return std::make_unique<ActiveProbeScheme>(); }},
+        {"anticap", [] { return std::make_unique<AnticapScheme>(); }},
+        {"antidote", [] { return std::make_unique<AntidoteScheme>(); }},
+        {"middleware", [] { return std::make_unique<MiddlewareScheme>(); }},
+        {"port-security", [] { return std::make_unique<PortSecurityScheme>(); }},
+        {"dai", [] { return std::make_unique<DaiScheme>(); }},
+        {"dai-static",
+         [] {
+             DaiScheme::Options opt;
+             opt.use_dhcp_snooping = false;
+             return std::make_unique<DaiScheme>(opt);
+         }},
+        {"gossip", [] { return std::make_unique<GossipScheme>(); }},
+        {"lease-monitor", [] { return std::make_unique<LeaseMonitorScheme>(); }},
+        {"s-arp", [] { return std::make_unique<SArpScheme>(); }},
+        {"tarp", [] { return std::make_unique<TarpScheme>(); }},
+    };
+}
+
+std::unique_ptr<Scheme> make_scheme(const std::string& name) {
+    for (auto& reg : all_schemes()) {
+        if (reg.name == name) return reg.make();
+    }
+    return nullptr;
+}
+
+}  // namespace arpsec::detect

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Factory for one scheme instance (schemes are single-scenario objects).
+using SchemeFactory = std::function<std::unique_ptr<Scheme>()>;
+
+struct RegisteredScheme {
+    std::string name;
+    SchemeFactory make;
+};
+
+/// All schemes the paper analyzes, in presentation order. The evaluation
+/// harness sweeps this list to build the comparison matrix.
+[[nodiscard]] std::vector<RegisteredScheme> all_schemes();
+
+/// Creates a scheme by registered name; nullptr when unknown.
+[[nodiscard]] std::unique_ptr<Scheme> make_scheme(const std::string& name);
+
+}  // namespace arpsec::detect

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Signature IDS approach: a reimplementation of the Snort arpspoof
+/// preprocessor's rules. Checks every observed ARP packet against (a) a
+/// statically configured IP->MAC table, (b) Ethernet/ARP header
+/// consistency, and (c) the unicast-request tool signature. Detects fast
+/// with no host changes, but the static table goes stale under DHCP, and
+/// there is no prevention.
+class SnortPreprocessorScheme final : public Scheme {
+public:
+    struct Options {
+        bool check_table = true;
+        bool check_header_consistency = true;
+        bool check_unicast_requests = true;
+    };
+
+    SnortPreprocessorScheme() = default;
+    explicit SnortPreprocessorScheme(Options options) : options_(options) {}
+
+    [[nodiscard]] SchemeTraits traits() const override;
+    void attach_monitor(MonitorNode& monitor) override;
+
+private:
+    class Preprocessor;
+    Options options_;
+};
+
+}  // namespace arpsec::detect

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Prevention by configuration: every host pins a static ARP entry for
+/// every other station. Immune to poisoning by construction, but O(n^2)
+/// administration, incompatible with DHCP churn, and silent (no detection).
+class StaticEntriesScheme final : public Scheme {
+public:
+    [[nodiscard]] SchemeTraits traits() const override;
+    void protect_host(host::Host& host) override;
+};
+
+}  // namespace arpsec::detect

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// Cisco-style port security: at most N source MACs per access port,
+/// err-disable on violation. Stops CAM flooding and MAC cloning, but an
+/// ARP poisoner using its own NIC address sails through — the paper's
+/// point that L2 *source* control does not authenticate ARP *claims*.
+class PortSecurityScheme final : public Scheme {
+public:
+    struct Options {
+        std::size_t max_macs_per_port = 1;
+        bool shutdown_on_violation = true;
+    };
+
+    PortSecurityScheme() = default;
+    explicit PortSecurityScheme(Options options) : options_(options) {}
+
+    [[nodiscard]] SchemeTraits traits() const override;
+    void configure_switch(l2::Switch& fabric) override;
+
+private:
+    Options options_;
+};
+
+/// DHCP snooping + Dynamic ARP Inspection: the switch validates every ARP
+/// packet on untrusted ports against bindings snooped from DHCP (or
+/// statically configured), drops violations and rate-limits ARP. Prevents
+/// poisoning without touching hosts, but requires managed switches
+/// everywhere and (in dynamic mode) DHCP-managed addressing.
+class DaiScheme final : public Scheme {
+public:
+    struct Options {
+        /// Use snooped DHCP bindings. When false, static bindings from the
+        /// deployment directory are installed instead (the no-DHCP ablation).
+        bool use_dhcp_snooping = true;
+        std::uint32_t rate_limit_pps = 15;
+        bool err_disable_on_rate = false;  // drop-only default: keep hosts up
+    };
+
+    DaiScheme() = default;
+    explicit DaiScheme(Options options) : options_(options) {}
+
+    [[nodiscard]] SchemeTraits traits() const override;
+    void configure_switch(l2::Switch& fabric) override;
+
+private:
+    Options options_;
+};
+
+}  // namespace arpsec::detect

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "crypto/schnorr.hpp"
+#include "detect/scheme.hpp"
+
+namespace arpsec::detect {
+
+/// TARP (Lootah et al.): a Local Ticketing Agent (LTA) issues each station
+/// a signed *ticket* attesting its (IP, MAC) binding; stations attach the
+/// ticket to their ARP messages, and receivers verify it with the LTA's
+/// public key alone. Compared with S-ARP this removes the per-message
+/// signing and the key-server round trip (one verify per new ticket, cached
+/// afterwards), at the cost of a replay window until ticket expiry.
+class TarpScheme final : public Scheme {
+public:
+    struct Options {
+        common::Duration ticket_lifetime = common::Duration::seconds(3600);
+        bool strict = true;  // drop ticketless ARP
+        /// Cache verified tickets so repeats skip the public-key operation.
+        bool cache_verified_tickets = true;
+    };
+
+    static constexpr std::uint8_t kAuthTag = 2;
+
+    TarpScheme() = default;
+    explicit TarpScheme(Options options) : options_(options) {}
+
+    [[nodiscard]] SchemeTraits traits() const override;
+    void deploy(const DeploymentContext& ctx) override;
+    void protect_host(host::Host& host) override;
+
+    /// A ticket as carried in the ARP auth trailer.
+    struct Ticket {
+        wire::Ipv4Address ip;
+        wire::MacAddress mac;
+        std::uint64_t expiry_ns = 0;
+        crypto::Signature sig;
+
+        [[nodiscard]] wire::Bytes serialize() const;
+        static std::optional<Ticket> parse(std::span<const std::uint8_t> data);
+        [[nodiscard]] wire::Bytes signed_region() const;
+    };
+
+    /// Issues a ticket signed by the LTA (exposed for the replay ablation).
+    [[nodiscard]] Ticket issue_ticket(wire::Ipv4Address ip, wire::MacAddress mac,
+                                      common::SimTime now) const;
+    [[nodiscard]] const crypto::PublicKey& lta_public_key() const {
+        return lta_key_->public_key();
+    }
+
+private:
+    class Hook;
+
+    Options options_;
+    std::unique_ptr<crypto::KeyPair> lta_key_;
+    std::unordered_map<std::uint64_t, Ticket> tickets_by_mac_;
+};
+
+}  // namespace arpsec::detect

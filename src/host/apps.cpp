@@ -1,0 +1,36 @@
+#include "host/apps.hpp"
+
+namespace arpsec::host {
+
+UdpSinkApp::UdpSinkApp(Host& host, std::uint16_t port, DeliveryLedger* ledger, bool echo) {
+    host.bind_udp(port, [this, ledger, echo](Host& h, const UdpRxInfo& info,
+                                             const wire::Bytes& data) {
+        ++received_;
+        const auto payload = Payload::parse(data);
+        if (payload && ledger != nullptr) ledger->note_delivered(*payload, h.network().now());
+        if (echo && !info.src_ip.is_any()) {
+            h.send_udp(info.src_ip, info.dst_port, info.src_port, data);
+        }
+    });
+}
+
+TrafficApp::TrafficApp(Host& host, DeliveryLedger& ledger, std::vector<FlowSpec> flows)
+    : host_(host), ledger_(ledger), flows_(std::move(flows)), next_seq_(flows_.size(), 0) {
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        host_.every(flows_[i].period, [this, i] { tick(i); });
+    }
+}
+
+void TrafficApp::tick(std::size_t flow_index) {
+    if (!host_.has_ip()) return;  // wait for DHCP
+    const FlowSpec& flow = flows_[flow_index];
+    Payload p;
+    p.flow = flow.flow_id;
+    p.seq = next_seq_[flow_index]++;
+    ledger_.note_sent(p, host_.network().now());
+    ++sent_;
+    host_.send_udp(flow.dst, static_cast<std::uint16_t>(40000 + flow.flow_id), flow.dst_port,
+                   p.serialize());
+}
+
+}  // namespace arpsec::host

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "host/host.hpp"
+#include "host/ledger.hpp"
+#include "host/payload.hpp"
+
+namespace arpsec::host {
+
+/// Receives test traffic and records deliveries in the ledger; optionally
+/// echoes the payload back to the sender (request/response flows).
+class UdpSinkApp {
+public:
+    UdpSinkApp(Host& host, std::uint16_t port, DeliveryLedger* ledger, bool echo = false);
+
+    [[nodiscard]] std::uint64_t received() const { return received_; }
+
+private:
+    std::uint64_t received_ = 0;
+};
+
+/// Generates periodic UDP flows to fixed destinations, registering each
+/// datagram with the ledger. Waits for the host to hold an address.
+class TrafficApp {
+public:
+    struct FlowSpec {
+        std::uint32_t flow_id = 0;
+        wire::Ipv4Address dst;
+        std::uint16_t dst_port = 7000;
+        common::Duration period = common::Duration::millis(200);
+    };
+
+    TrafficApp(Host& host, DeliveryLedger& ledger, std::vector<FlowSpec> flows);
+
+    [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+private:
+    void tick(std::size_t flow_index);
+
+    Host& host_;
+    DeliveryLedger& ledger_;
+    std::vector<FlowSpec> flows_;
+    std::vector<std::uint64_t> next_seq_;
+    std::uint64_t sent_ = 0;
+};
+
+}  // namespace arpsec::host

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "host/host.hpp"
+
+namespace arpsec::host {
+
+/// DHCP server application bound to a host (typically the gateway). Leases
+/// addresses from a fixed pool; Dynamic ARP Inspection builds its binding
+/// table by snooping this traffic at the switch.
+class DhcpServer {
+public:
+    struct Config {
+        wire::Ipv4Address pool_start{192, 168, 1, 100};
+        std::uint32_t pool_size = 100;
+        std::uint32_t lease_seconds = 3600;
+        wire::Ipv4Address subnet_mask{255, 255, 255, 0};
+        wire::Ipv4Address router{192, 168, 1, 1};
+    };
+
+    struct Stats {
+        std::uint64_t discovers = 0;
+        std::uint64_t offers = 0;
+        std::uint64_t requests = 0;
+        std::uint64_t acks = 0;
+        std::uint64_t naks = 0;
+        std::uint64_t releases = 0;
+        std::uint64_t pool_exhausted = 0;
+    };
+
+    struct Lease {
+        wire::MacAddress mac;
+        common::SimTime expires;
+    };
+
+    DhcpServer(Host& host, Config config);
+
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] const std::unordered_map<wire::Ipv4Address, Lease>& leases() const {
+        return leases_;
+    }
+    [[nodiscard]] std::size_t free_addresses() const;
+
+private:
+    void handle(const wire::DhcpMessage& msg);
+    std::optional<wire::Ipv4Address> allocate(wire::MacAddress mac);
+    void reply(const wire::DhcpMessage& to, wire::DhcpMessageType type, wire::Ipv4Address yiaddr);
+
+    Host& host_;
+    Config config_;
+    Stats stats_;
+    std::unordered_map<wire::Ipv4Address, Lease> leases_;
+};
+
+}  // namespace arpsec::host

@@ -1,0 +1,242 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "arp/cache.hpp"
+#include "common/stats.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "wire/arp_packet.hpp"
+#include "wire/dhcp_message.hpp"
+#include "wire/ipv4_packet.hpp"
+#include "wire/udp_datagram.hpp"
+
+namespace arpsec::host {
+
+class Host;
+
+/// Configuration of a simulated end host (single NIC on port 0).
+struct HostConfig {
+    std::string name = "host";
+    wire::MacAddress mac;
+    /// Static address; if unset the host runs a DHCP client.
+    std::optional<wire::Ipv4Address> static_ip;
+    wire::Ipv4Subnet subnet{wire::Ipv4Address{192, 168, 1, 0}, 24};
+    wire::Ipv4Address gateway{192, 168, 1, 1};
+    arp::CachePolicy arp_policy = arp::CachePolicy::linux26();
+
+    /// Announce the acquired address with a gratuitous ARP (most stacks do).
+    bool gratuitous_announce = true;
+    common::Duration arp_request_timeout = common::Duration::seconds(1);
+    int arp_max_tries = 3;
+    /// Per-packet protocol processing cost (interrupt + stack traversal).
+    common::Duration processing_delay = common::Duration::micros(15);
+};
+
+/// Everything the ARP engine knows about a received ARP packet when hooks
+/// run, beyond the packet itself.
+struct ArpRxInfo {
+    bool solicited = false;   // matches one of our outstanding requests
+    bool gratuitous = false;  // sender IP == target IP
+    wire::MacAddress frame_src;
+    sim::PortId port = 0;
+};
+
+/// Extension point for host-based schemes (Anticap, Antidote, S-ARP, TARP,
+/// middleware). Hooks run in installation order on receive; the first
+/// non-Accept verdict wins.
+class ArpHook {
+public:
+    enum class Verdict {
+        kAccept,  // continue down the pipeline
+        kDrop,    // discard silently (prevention)
+        kDefer,   // the hook took ownership; it will call
+                  // Host::resume_arp_processing() later (e.g. after a
+                  // verification probe or a signature check delay)
+    };
+
+    virtual ~ArpHook() = default;
+    [[nodiscard]] virtual const char* hook_name() const = 0;
+
+    virtual Verdict on_arp_receive(Host& host, const wire::ArpPacket& pkt,
+                                   const ArpRxInfo& info) {
+        (void)host;
+        (void)pkt;
+        (void)info;
+        return Verdict::kAccept;
+    }
+
+    /// May mutate the outgoing packet (attach auth trailers) and return an
+    /// extra transmit delay (signing cost).
+    virtual common::Duration on_arp_transmit(Host& host, wire::ArpPacket& pkt) {
+        (void)host;
+        (void)pkt;
+        return common::Duration::zero();
+    }
+};
+
+struct UdpRxInfo {
+    wire::Ipv4Address src_ip;
+    wire::Ipv4Address dst_ip;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    wire::MacAddress frame_src;
+};
+
+using UdpHandler = std::function<void(Host&, const UdpRxInfo&, const wire::Bytes&)>;
+
+/// Statistics one host accumulates; the resolution latency distribution is
+/// the primary quantity behind figure F1.
+struct HostStats {
+    common::Summary resolution_latency_us;
+    std::uint64_t resolutions_ok = 0;
+    std::uint64_t resolutions_failed = 0;
+    std::uint64_t arp_requests_sent = 0;
+    std::uint64_t arp_replies_sent = 0;
+    std::uint64_t arp_received = 0;
+    std::uint64_t arp_dropped_by_hook = 0;
+    std::uint64_t udp_sent = 0;
+    std::uint64_t udp_received = 0;
+    std::uint64_t udp_send_failed = 0;  // resolution failure
+};
+
+/// A simulated end host: NIC + ARP engine + minimal IPv4/UDP stack + DHCP
+/// client. Hosts are the vantage point for all host-based schemes.
+class Host : public sim::Node {
+public:
+    explicit Host(HostConfig config);
+    ~Host() override;
+
+    void start() override;
+    void on_frame(sim::PortId in_port, const wire::EthernetFrame& frame,
+                  std::span<const std::uint8_t> raw) override;
+
+    // ---- Identity ----------------------------------------------------------
+    [[nodiscard]] const HostConfig& config() const { return config_; }
+    [[nodiscard]] wire::MacAddress mac() const { return config_.mac; }
+    [[nodiscard]] bool has_ip() const { return ip_.has_value(); }
+    /// The host's IP; only valid when has_ip().
+    [[nodiscard]] wire::Ipv4Address ip() const { return ip_.value_or(wire::Ipv4Address::any()); }
+    /// Registers a callback invoked whenever an address is acquired
+    /// (statically at start, or on every DHCP bind). Multiple listeners may
+    /// register (harness instrumentation, scheme enrollment hooks, ...).
+    void add_ip_listener(std::function<void(wire::Ipv4Address)> fn) {
+        ip_listeners_.push_back(std::move(fn));
+    }
+
+    // ---- ARP ---------------------------------------------------------------
+    [[nodiscard]] arp::ArpCache& arp_cache() { return cache_; }
+    [[nodiscard]] const arp::ArpCache& arp_cache() const { return cache_; }
+
+    /// Resolves `ip` to a MAC, invoking `done` with the result (nullopt on
+    /// timeout after the configured retries).
+    void resolve(wire::Ipv4Address ip,
+                 std::function<void(std::optional<wire::MacAddress>)> done);
+
+    /// Installs a scheme hook (runs after already-installed hooks).
+    void add_arp_hook(std::shared_ptr<ArpHook> hook) { hooks_.push_back(std::move(hook)); }
+
+    /// Continues pipeline processing of a packet a hook deferred. The
+    /// deferring hook is skipped; hooks after it still run.
+    void resume_arp_processing(const wire::ArpPacket& pkt, const ArpRxInfo& info,
+                               const ArpHook* after_hook);
+
+    /// Applies a verified binding directly (bypasses hooks and policy).
+    void apply_verified_binding(wire::Ipv4Address ip, wire::MacAddress mac);
+
+    /// Sends an ARP packet out of the NIC (runs transmit hooks). The frame
+    /// destination is broadcast for requests/announcements, unicast else.
+    void send_arp(wire::ArpPacket pkt, wire::MacAddress frame_dst);
+
+    // ---- UDP/IPv4 ----------------------------------------------------------
+    /// Sends a UDP datagram; performs next-hop resolution first. Broadcast
+    /// destinations go out immediately with the broadcast MAC.
+    void send_udp(wire::Ipv4Address dst, std::uint16_t src_port, std::uint16_t dst_port,
+                  wire::Bytes payload);
+    void bind_udp(std::uint16_t port, UdpHandler handler);
+
+    /// Handler for a non-UDP IPv4 protocol (e.g. the TCP stack). Receives
+    /// packets addressed to this host carrying that protocol number.
+    using Ipv4ProtoHandler =
+        std::function<void(Host&, const wire::Ipv4Packet&, wire::MacAddress frame_src)>;
+    void bind_ipv4_proto(wire::IpProto proto, Ipv4ProtoHandler handler);
+
+    /// Sends a raw IPv4 payload under the given protocol number (resolves
+    /// the next hop like send_udp).
+    void send_ipv4(wire::Ipv4Address dst, wire::IpProto proto, wire::Bytes payload);
+
+    // ---- Timers ------------------------------------------------------------
+    sim::EventId after(common::Duration d, std::function<void()> fn);
+    /// Repeats `fn` every `period` until the simulation ends.
+    void every(common::Duration period, std::function<void()> fn);
+
+    [[nodiscard]] HostStats& stats() { return stats_; }
+    [[nodiscard]] const HostStats& stats() const { return stats_; }
+
+    /// Releases the DHCP lease and forgets the address (host "leaves").
+    void dhcp_release();
+
+    /// Powers the host down: it stops answering and sourcing traffic (its
+    /// apps see has_ip() == false). Used for offline-victim ablations and
+    /// NIC-replacement churn.
+    void power_off();
+    /// Restores the host (re-acquires the static address or restarts DHCP).
+    void power_on();
+    [[nodiscard]] bool powered() const { return powered_; }
+
+private:
+    struct PendingResolution {
+        int tries = 0;
+        common::SimTime started;
+        sim::EventId timeout_event = 0;
+        std::vector<std::function<void(std::optional<wire::MacAddress>)>> callbacks;
+    };
+
+    // Frame dispatch.
+    void handle_arp(const wire::EthernetFrame& frame, sim::PortId port);
+    void process_arp_pipeline(const wire::ArpPacket& pkt, const ArpRxInfo& info,
+                              std::size_t first_hook);
+    void finish_arp_processing(const wire::ArpPacket& pkt, const ArpRxInfo& info);
+    void handle_ipv4(const wire::EthernetFrame& frame);
+    void arp_request_timeout(wire::Ipv4Address ip);
+    void resolution_succeeded(wire::Ipv4Address ip, wire::MacAddress mac);
+    [[nodiscard]] wire::Ipv4Address next_hop_for(wire::Ipv4Address dst) const;
+    void transmit_udp(wire::Ipv4Address dst, wire::MacAddress dst_mac, std::uint16_t src_port,
+                      std::uint16_t dst_port, const wire::Bytes& payload);
+
+    // DHCP client state machine.
+    enum class DhcpState { kDisabled, kInit, kSelecting, kRequesting, kBound };
+    void dhcp_start();
+    void dhcp_send_discover();
+    void dhcp_send_request(const wire::DhcpMessage& offer);
+    void dhcp_handle_reply(const wire::DhcpMessage& msg);
+    void dhcp_schedule_renewal();
+    void send_dhcp(wire::DhcpMessage msg);
+
+    void acquire_ip(wire::Ipv4Address ip);
+
+    HostConfig config_;
+    bool powered_ = true;
+    std::optional<wire::Ipv4Address> ip_;
+    std::vector<std::function<void(wire::Ipv4Address)>> ip_listeners_;
+    arp::ArpCache cache_;
+    std::vector<std::shared_ptr<ArpHook>> hooks_;
+    std::unordered_map<wire::Ipv4Address, PendingResolution> pending_;
+    std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
+    std::unordered_map<std::uint8_t, Ipv4ProtoHandler> proto_handlers_;
+    std::uint16_t next_ip_id_ = 1;
+    HostStats stats_;
+
+    DhcpState dhcp_state_ = DhcpState::kDisabled;
+    std::uint32_t dhcp_xid_ = 0;
+    wire::Ipv4Address dhcp_server_;
+    std::uint32_t dhcp_lease_seconds_ = 0;
+    sim::EventId dhcp_retry_event_ = 0;
+};
+
+}  // namespace arpsec::host

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "wire/buffer.hpp"
+
+namespace arpsec::host {
+
+/// Test payload carried by generated traffic. Flow/sequence numbers give
+/// the harness ground truth for delivery and interception accounting.
+struct Payload {
+    static constexpr std::uint32_t kMagic = 0x41504C44;  // "APLD"
+
+    std::uint32_t flow = 0;
+    std::uint64_t seq = 0;
+
+    [[nodiscard]] wire::Bytes serialize() const {
+        wire::Bytes out;
+        wire::ByteWriter w{out};
+        w.u32(kMagic);
+        w.u32(flow);
+        w.u64(seq);
+        return out;
+    }
+
+    static std::optional<Payload> parse(std::span<const std::uint8_t> data) {
+        wire::ByteReader r{data};
+        if (r.u32() != kMagic) return std::nullopt;
+        Payload p;
+        p.flow = r.u32();
+        p.seq = r.u64();
+        if (!r.ok()) return std::nullopt;
+        return p;
+    }
+};
+
+}  // namespace arpsec::host

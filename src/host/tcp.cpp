@@ -1,0 +1,256 @@
+#include "host/tcp.hpp"
+
+namespace arpsec::host {
+
+using common::Duration;
+using wire::Bytes;
+using wire::Ipv4Address;
+using wire::TcpSegment;
+
+TcpStack::TcpStack(Host& host) : TcpStack(host, Options()) {}
+
+TcpStack::TcpStack(Host& host, Options options)
+    : host_(host), options_(options), rng_(host.network().fork_rng(0x7C9 + host.id())) {
+    host_.bind_ipv4_proto(wire::IpProto::kTcp,
+                          [this](Host&, const wire::Ipv4Packet& pkt, wire::MacAddress) {
+                              on_segment(pkt);
+                          });
+}
+
+std::uint32_t TcpStack::initial_seq() { return static_cast<std::uint32_t>(rng_.next_u64()); }
+
+void TcpStack::listen(std::uint16_t port, std::function<void(Connection&)> on_accept) {
+    listeners_[port] = Listener{std::move(on_accept)};
+}
+
+TcpStack::Connection& TcpStack::connect(Ipv4Address dst, std::uint16_t dst_port,
+                                        std::function<void(Connection&)> on_established) {
+    auto conn = std::make_unique<Connection>();
+    Connection& c = *conn;
+    c.stack_ = this;
+    c.peer_ip_ = dst;
+    c.peer_port_ = dst_port;
+    c.local_port_ = next_ephemeral_++;
+    c.state_ = State::kSynSent;
+    c.snd_nxt = initial_seq();
+    c.snd_una = c.snd_nxt;
+
+    const Key key{dst.value(), c.local_port_, dst_port};
+    connections_[key] = std::move(conn);
+    pending_established_[key] = std::move(on_established);
+    ++stats_.connections_opened;
+
+    emit(c, TcpSegment::kSyn, {}, /*track=*/true);
+    return c;
+}
+
+void TcpStack::emit(Connection& c, std::uint8_t flags, Bytes payload, bool track) {
+    TcpSegment seg;
+    seg.src_port = c.local_port_;
+    seg.dst_port = c.peer_port_;
+    seg.seq = c.snd_nxt;
+    seg.ack = c.rcv_nxt;
+    seg.flags = flags;
+    seg.payload = payload;
+    ++stats_.segments_sent;
+    host_.send_ipv4(c.peer_ip_, wire::IpProto::kTcp, seg.serialize());
+
+    // SYN and FIN consume one sequence number; data consumes its length.
+    std::uint32_t advance = static_cast<std::uint32_t>(payload.size());
+    if ((flags & TcpSegment::kSyn) != 0 || (flags & TcpSegment::kFin) != 0) advance += 1;
+    if (track && advance > 0) {
+        c.retransmit_queue_.push_back(
+            Connection::Unacked{c.snd_nxt, std::move(payload), flags, 0});
+        c.snd_nxt += advance;
+        arm_retransmit(c);
+    }
+}
+
+void TcpStack::arm_retransmit(Connection& c) {
+    if (c.retransmit_event_ != 0) return;  // already armed
+    const Key key{c.peer_ip_.value(), c.local_port_, c.peer_port_};
+    c.retransmit_event_ = host_.network().scheduler().schedule_after(
+        options_.retransmit_timeout, [this, key] { retransmit_due(key); });
+}
+
+void TcpStack::retransmit_due(Key key) {
+    auto it = connections_.find(key);
+    if (it == connections_.end()) return;
+    Connection& c = *it->second;
+    c.retransmit_event_ = 0;
+    if (c.retransmit_queue_.empty() || c.state_ == State::kReset ||
+        c.state_ == State::kClosed) {
+        return;
+    }
+    auto& head = c.retransmit_queue_.front();
+    if (++head.tries > options_.max_retries) {
+        // Give up: the connection is dead.
+        c.state_ = State::kClosed;
+        if (c.on_close) c.on_close();
+        return;
+    }
+    ++stats_.retransmissions;
+    TcpSegment seg;
+    seg.src_port = c.local_port_;
+    seg.dst_port = c.peer_port_;
+    seg.seq = head.seq;
+    seg.ack = c.rcv_nxt;
+    seg.flags = head.flags;
+    seg.payload = head.data;
+    ++stats_.segments_sent;
+    host_.send_ipv4(c.peer_ip_, wire::IpProto::kTcp, seg.serialize());
+    arm_retransmit(c);
+}
+
+void TcpStack::process_ack(Connection& c, std::uint32_t ack) {
+    bool progressed = false;
+    while (!c.retransmit_queue_.empty()) {
+        const auto& head = c.retransmit_queue_.front();
+        std::uint32_t advance = static_cast<std::uint32_t>(head.data.size());
+        if ((head.flags & TcpSegment::kSyn) != 0 || (head.flags & TcpSegment::kFin) != 0) {
+            advance += 1;
+        }
+        // Sequence arithmetic modulo 2^32: head fully acked?
+        const std::uint32_t end = head.seq + advance;
+        if (static_cast<std::int32_t>(ack - end) >= 0) {
+            c.retransmit_queue_.pop_front();
+            progressed = true;
+        } else {
+            break;
+        }
+    }
+    if (static_cast<std::int32_t>(ack - c.snd_una) > 0) c.snd_una = ack;
+    if (progressed) {
+        // Re-arm the timer for the new head (if any).
+        if (c.retransmit_event_ != 0) {
+            host_.network().scheduler().cancel(c.retransmit_event_);
+            c.retransmit_event_ = 0;
+        }
+        if (!c.retransmit_queue_.empty()) arm_retransmit(c);
+    }
+}
+
+void TcpStack::on_segment(const wire::Ipv4Packet& pkt) {
+    auto parsed = TcpSegment::parse(pkt.payload);
+    if (!parsed.ok()) return;
+    const TcpSegment& seg = parsed.value();
+    ++stats_.segments_received;
+
+    const Key key{pkt.src.value(), seg.dst_port, seg.src_port};
+    auto it = connections_.find(key);
+    if (it != connections_.end()) {
+        segment_arrived(*it->second, seg);
+        return;
+    }
+    if (seg.has(TcpSegment::kSyn) && !seg.has(TcpSegment::kAck) &&
+        listeners_.count(seg.dst_port) != 0) {
+        handle_listen_syn(seg.dst_port, pkt.src, seg);
+    }
+}
+
+void TcpStack::handle_listen_syn(std::uint16_t port, Ipv4Address from,
+                                 const TcpSegment& seg) {
+    auto conn = std::make_unique<Connection>();
+    Connection& c = *conn;
+    c.stack_ = this;
+    c.peer_ip_ = from;
+    c.peer_port_ = seg.src_port;
+    c.local_port_ = port;
+    c.state_ = State::kSynReceived;
+    c.rcv_nxt = seg.seq + 1;
+    c.snd_nxt = initial_seq();
+    c.snd_una = c.snd_nxt;
+    const Key key{from.value(), port, seg.src_port};
+    connections_[key] = std::move(conn);
+    emit(c, TcpSegment::kSyn | TcpSegment::kAck, {}, /*track=*/true);
+}
+
+void TcpStack::segment_arrived(Connection& c, const TcpSegment& seg) {
+    // RST: in this simulation-grade stack any RST whose sequence lands at
+    // the receive point (or carries a plausible ACK during handshake)
+    // kills the connection — the classic in-window reset.
+    if (seg.has(TcpSegment::kRst)) {
+        if (c.state_ == State::kReset || c.state_ == State::kClosed) return;
+        if (seg.seq == c.rcv_nxt || c.state_ == State::kSynSent) {
+            c.state_ = State::kReset;
+            ++stats_.resets_received;
+            if (c.retransmit_event_ != 0) {
+                host_.network().scheduler().cancel(c.retransmit_event_);
+                c.retransmit_event_ = 0;
+            }
+            c.retransmit_queue_.clear();
+            if (c.on_reset) c.on_reset();
+        }
+        return;
+    }
+
+    if (seg.has(TcpSegment::kAck)) process_ack(c, seg.ack);
+
+    switch (c.state_) {
+        case State::kSynSent:
+            if (seg.has(TcpSegment::kSyn) && seg.has(TcpSegment::kAck)) {
+                c.rcv_nxt = seg.seq + 1;
+                c.state_ = State::kEstablished;
+                emit(c, TcpSegment::kAck, {}, /*track=*/false);
+                const Key key{c.peer_ip_.value(), c.local_port_, c.peer_port_};
+                if (auto cb = pending_established_.find(key);
+                    cb != pending_established_.end()) {
+                    auto fn = std::move(cb->second);
+                    pending_established_.erase(cb);
+                    if (fn) fn(c);
+                }
+            }
+            return;
+        case State::kSynReceived:
+            if (seg.has(TcpSegment::kAck) && seg.ack == c.snd_nxt) {
+                c.state_ = State::kEstablished;
+                ++stats_.connections_accepted;
+                if (auto l = listeners_.find(c.local_port_); l != listeners_.end()) {
+                    if (l->second.on_accept) l->second.on_accept(c);
+                }
+            }
+            // Fall through to data handling: the handshake ACK may carry
+            // data in aggressive stacks (ours doesn't, but tolerate it).
+            break;
+        case State::kEstablished:
+        case State::kFinWait:
+            break;
+        case State::kClosed:
+        case State::kReset:
+        case State::kListen:
+            return;
+    }
+
+    if (!seg.payload.empty()) {
+        if (seg.seq == c.rcv_nxt) {
+            c.rcv_nxt += static_cast<std::uint32_t>(seg.payload.size());
+            stats_.bytes_delivered += seg.payload.size();
+            if (c.on_data) c.on_data(seg.payload);
+            emit(c, TcpSegment::kAck, {}, /*track=*/false);
+        } else {
+            // Out-of-order (go-back-N): drop and re-ACK the expected point.
+            ++stats_.out_of_order_dropped;
+            emit(c, TcpSegment::kAck, {}, /*track=*/false);
+        }
+    }
+
+    if (seg.has(TcpSegment::kFin) && seg.seq == c.rcv_nxt) {
+        c.rcv_nxt += 1;
+        emit(c, TcpSegment::kAck, {}, /*track=*/false);
+        c.state_ = State::kClosed;
+        if (c.on_close) c.on_close();
+    }
+}
+
+void TcpStack::Connection::send(Bytes data) {
+    if (state_ != State::kEstablished || data.empty()) return;
+    stack_->emit(*this, TcpSegment::kPsh | TcpSegment::kAck, std::move(data), /*track=*/true);
+}
+
+void TcpStack::Connection::close() {
+    if (state_ != State::kEstablished && state_ != State::kSynReceived) return;
+    state_ = State::kFinWait;
+    stack_->emit(*this, TcpSegment::kFin | TcpSegment::kAck, {}, /*track=*/true);
+}
+
+}  // namespace arpsec::host

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "host/host.hpp"
+#include "wire/tcp_segment.hpp"
+
+namespace arpsec::host {
+
+/// Minimal TCP implementation attached to a Host: three-way handshake,
+/// in-order data transfer with cumulative ACKs and go-back-N
+/// retransmission, FIN teardown and RST handling. Built so the framework
+/// can demonstrate what a successful ARP MITM *buys* an attacker —
+/// observing sequence numbers and killing or spoofing connections — and
+/// measure how the prevention schemes take that away.
+class TcpStack {
+public:
+    struct Options {
+        common::Duration retransmit_timeout = common::Duration::millis(200);
+        int max_retries = 6;
+    };
+
+    enum class State {
+        kClosed,
+        kListen,
+        kSynSent,
+        kSynReceived,
+        kEstablished,
+        kFinWait,
+        kReset,
+    };
+
+    struct Stats {
+        std::uint64_t segments_sent = 0;
+        std::uint64_t segments_received = 0;
+        std::uint64_t retransmissions = 0;
+        std::uint64_t connections_opened = 0;
+        std::uint64_t connections_accepted = 0;
+        std::uint64_t resets_received = 0;
+        std::uint64_t bytes_delivered = 0;
+        std::uint64_t out_of_order_dropped = 0;
+    };
+
+    /// One end of a connection. Owned by the stack; stable address.
+    class Connection {
+    public:
+        [[nodiscard]] State state() const { return state_; }
+        [[nodiscard]] wire::Ipv4Address peer_ip() const { return peer_ip_; }
+        [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+        [[nodiscard]] std::uint16_t peer_port() const { return peer_port_; }
+
+        /// Queues application data for in-order delivery to the peer.
+        void send(wire::Bytes data);
+        /// Graceful close (FIN).
+        void close();
+
+        /// In-order application data arrival.
+        std::function<void(const wire::Bytes&)> on_data;
+        /// Connection torn down by a RST (the hijack signal).
+        std::function<void()> on_reset;
+        /// Orderly close completed.
+        std::function<void()> on_close;
+
+    private:
+        friend class TcpStack;
+        TcpStack* stack_ = nullptr;
+        wire::Ipv4Address peer_ip_;
+        std::uint16_t local_port_ = 0;
+        std::uint16_t peer_port_ = 0;
+        State state_ = State::kClosed;
+        std::uint32_t snd_nxt = 0;  // next sequence to send
+        std::uint32_t snd_una = 0;  // oldest unacknowledged
+        std::uint32_t rcv_nxt = 0;  // next expected from peer
+        struct Unacked {
+            std::uint32_t seq;
+            wire::Bytes data;
+            std::uint8_t flags;
+            int tries = 0;
+        };
+        std::deque<Unacked> retransmit_queue_;
+        sim::EventId retransmit_event_ = 0;
+    };
+
+    explicit TcpStack(Host& host);
+    TcpStack(Host& host, Options options);
+
+    /// Accepts connections on `port`; `on_accept` fires when a connection
+    /// reaches ESTABLISHED (set per-connection callbacks inside it).
+    void listen(std::uint16_t port, std::function<void(Connection&)> on_accept);
+
+    /// Opens a connection; returns it immediately (state kSynSent). Set
+    /// callbacks on the returned object; `on_established` fires when the
+    /// handshake completes.
+    Connection& connect(wire::Ipv4Address dst, std::uint16_t dst_port,
+                        std::function<void(Connection&)> on_established);
+
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] Host& host() { return host_; }
+
+private:
+    struct Key {
+        std::uint32_t peer_ip;
+        std::uint16_t local_port;
+        std::uint16_t peer_port;
+        auto operator<=>(const Key&) const = default;
+    };
+
+    void on_segment(const wire::Ipv4Packet& pkt);
+    void segment_arrived(Connection& c, const wire::TcpSegment& seg);
+    void handle_listen_syn(std::uint16_t port, wire::Ipv4Address from,
+                           const wire::TcpSegment& seg);
+    void emit(Connection& c, std::uint8_t flags, wire::Bytes payload, bool track);
+    void arm_retransmit(Connection& c);
+    void retransmit_due(Key key);
+    void process_ack(Connection& c, std::uint32_t ack);
+    [[nodiscard]] std::uint32_t initial_seq();
+
+    Host& host_;
+    Options options_;
+    common::Rng rng_;
+    std::map<Key, std::unique_ptr<Connection>> connections_;
+    struct Listener {
+        std::function<void(Connection&)> on_accept;
+    };
+    std::map<std::uint16_t, Listener> listeners_;
+    std::map<Key, std::function<void(Connection&)>> pending_established_;
+    std::uint16_t next_ephemeral_ = 49152;
+    Stats stats_;
+};
+
+}  // namespace arpsec::host

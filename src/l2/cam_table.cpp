@@ -1,0 +1,69 @@
+#include "l2/cam_table.hpp"
+
+namespace arpsec::l2 {
+
+LearnResult CamTable::learn(wire::MacAddress mac, sim::PortId port, common::SimTime now) {
+    auto it = entries_.find(mac);
+    if (it != entries_.end()) {
+        if (aged(it->second, now)) {
+            entries_.erase(it);
+            ++stats_.aged_out;
+        } else if (it->second.port == port) {
+            it->second.last_seen = now;
+            ++stats_.refreshed;
+            return LearnResult::kRefreshed;
+        } else {
+            it->second.port = port;
+            it->second.last_seen = now;
+            ++stats_.moves;
+            return LearnResult::kMoved;
+        }
+    }
+    if (entries_.size() >= config_.capacity) {
+        // Try to reclaim space from aged entries before giving up.
+        if (purge_aged(now) == 0) {
+            ++stats_.full_drops;
+            return LearnResult::kTableFull;
+        }
+    }
+    entries_[mac] = Entry{port, now};
+    ++stats_.learned;
+    return LearnResult::kLearned;
+}
+
+std::optional<sim::PortId> CamTable::lookup(wire::MacAddress mac, common::SimTime now) {
+    auto it = entries_.find(mac);
+    if (it == entries_.end()) return std::nullopt;
+    if (aged(it->second, now)) {
+        entries_.erase(it);
+        ++stats_.aged_out;
+        return std::nullopt;
+    }
+    return it->second.port;
+}
+
+std::size_t CamTable::purge_aged(common::SimTime now) {
+    std::size_t removed = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (aged(it->second, now)) {
+            it = entries_.erase(it);
+            ++removed;
+            ++stats_.aged_out;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+void CamTable::flush_port(sim::PortId port) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.port == port) {
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace arpsec::l2

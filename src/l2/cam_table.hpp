@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/time.hpp"
+#include "sim/node.hpp"
+#include "wire/mac_address.hpp"
+
+namespace arpsec::l2 {
+
+struct CamConfig {
+    std::size_t capacity = 1024;                                 // MikroTik-class table
+    common::Duration aging = common::Duration::seconds(300);     // IEEE default
+};
+
+enum class LearnResult {
+    kLearned,    // new entry created
+    kRefreshed,  // existing entry, same port, timer reset
+    kMoved,      // station moved to a different port
+    kTableFull,  // no space: source stays unknown (fail-open behaviour)
+};
+
+struct CamStats {
+    std::uint64_t learned = 0;
+    std::uint64_t refreshed = 0;
+    std::uint64_t moves = 0;
+    std::uint64_t full_drops = 0;
+    std::uint64_t aged_out = 0;
+};
+
+/// Content-addressable memory of a learning switch: MAC -> port with aging
+/// and bounded capacity. When full, new sources cannot be learned, so
+/// frames to them flood — the fail-open behaviour MAC-flooding attacks
+/// exploit.
+class CamTable {
+public:
+    explicit CamTable(CamConfig config = {}) : config_(config) {}
+
+    LearnResult learn(wire::MacAddress mac, sim::PortId port, common::SimTime now);
+
+    /// Port for a destination MAC, if known and not aged out.
+    std::optional<sim::PortId> lookup(wire::MacAddress mac, common::SimTime now);
+
+    /// Removes entries older than the aging time. Called lazily by learn()
+    /// when at capacity, and periodically by the switch.
+    std::size_t purge_aged(common::SimTime now);
+
+    /// Removes every entry learned on `port` (port shutdown).
+    void flush_port(sim::PortId port);
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] bool full() const { return entries_.size() >= config_.capacity; }
+    [[nodiscard]] const CamConfig& config() const { return config_; }
+    [[nodiscard]] const CamStats& stats() const { return stats_; }
+
+private:
+    struct Entry {
+        sim::PortId port;
+        common::SimTime last_seen;
+    };
+
+    [[nodiscard]] bool aged(const Entry& e, common::SimTime now) const {
+        return now - e.last_seen > config_.aging;
+    }
+
+    CamConfig config_;
+    std::unordered_map<wire::MacAddress, Entry> entries_;
+    CamStats stats_;
+};
+
+}  // namespace arpsec::l2

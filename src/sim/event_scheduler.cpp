@@ -1,0 +1,67 @@
+#include "sim/event_scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace arpsec::sim {
+
+EventId EventScheduler::schedule_at(common::SimTime at, std::function<void()> fn) {
+    if (at < now_) at = now_;  // events cannot fire in the past
+    const EventId id = next_id_++;
+    queue_.push(Event{at, id, std::move(fn)});
+    return id;
+}
+
+EventId EventScheduler::schedule_after(common::Duration delay, std::function<void()> fn) {
+    assert(delay >= common::Duration::zero());
+    return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventScheduler::cancel(EventId id) {
+    if (id == 0 || id >= next_id_) return false;
+    return cancelled_.insert(id).second;
+}
+
+bool EventScheduler::fire_next() {
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.at;
+        ++executed_;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+bool EventScheduler::run_one() { return fire_next(); }
+
+void EventScheduler::run_until(common::SimTime deadline) {
+    while (!queue_.empty()) {
+        // Peek past cancelled entries without firing.
+        const Event& top = queue_.top();
+        if (cancelled_.count(top.id) != 0) {
+            cancelled_.erase(top.id);
+            queue_.pop();
+            continue;
+        }
+        if (top.at > deadline) break;
+        fire_next();
+    }
+    if (now_ < deadline) now_ = deadline;
+}
+
+std::size_t EventScheduler::run_all(std::size_t max_events) {
+    std::size_t n = 0;
+    while (n < max_events && fire_next()) ++n;
+    if (n == max_events) {
+        throw std::runtime_error("EventScheduler::run_all: event budget exhausted (livelock?)");
+    }
+    return n;
+}
+
+}  // namespace arpsec::sim

@@ -1,0 +1,110 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace arpsec::sim {
+
+Network::Network(std::uint64_t seed)
+    : seed_(seed), rng_root_(seed), loss_rng_(rng_root_.fork(0x1055)) {}
+
+NodeId Network::add_node(std::unique_ptr<Node> node) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    node->id_ = id;
+    node->network_ = this;
+    nodes_.push_back(std::move(node));
+    if (started_) {
+        // Late joiners (e.g. hosts arriving mid-scenario) start immediately.
+        Node* raw = nodes_.back().get();
+        scheduler_.schedule_after(common::Duration::zero(), [raw] { raw->start(); });
+    }
+    return id;
+}
+
+Node& Network::node(NodeId id) {
+    if (id >= nodes_.size()) throw std::out_of_range("Network::node: bad id");
+    return *nodes_[id];
+}
+
+const Node& Network::node(NodeId id) const {
+    if (id >= nodes_.size()) throw std::out_of_range("Network::node: bad id");
+    return *nodes_[id];
+}
+
+void Network::connect(Endpoint a, Endpoint b, LinkConfig config) {
+    if (a.node >= nodes_.size() || b.node >= nodes_.size()) {
+        throw std::out_of_range("Network::connect: unknown node");
+    }
+    const auto key_a = std::make_pair(a.node, a.port);
+    const auto key_b = std::make_pair(b.node, b.port);
+    if (wires_.count(key_a) != 0 || wires_.count(key_b) != 0) {
+        throw std::logic_error("Network::connect: port already wired");
+    }
+    wires_[key_a] = Wire{b, config, common::SimTime::zero()};
+    wires_[key_b] = Wire{a, config, common::SimTime::zero()};
+}
+
+Network::Wire* Network::wire_at(Endpoint e) {
+    auto it = wires_.find(std::make_pair(e.node, e.port));
+    return it == wires_.end() ? nullptr : &it->second;
+}
+
+void Network::transmit(Endpoint from, const wire::EthernetFrame& frame) {
+    Wire* w = wire_at(from);
+    if (w == nullptr) return;  // unplugged port: frame vanishes, like real hardware
+
+    const wire::Bytes raw = frame.serialize();
+
+    counters_.frames += 1;
+    counters_.bytes += raw.size();
+    if (frame.ether_type == wire::EtherType::kArp) {
+        counters_.arp_frames += 1;
+        counters_.arp_bytes += raw.size();
+    } else {
+        counters_.ipv4_frames += 1;
+        counters_.ipv4_bytes += raw.size();
+    }
+
+    // FIFO per link direction: serialization starts when the previous frame
+    // has left the NIC.
+    const common::SimTime start_tx = std::max(scheduler_.now(), w->next_free);
+    const auto tx_ns = static_cast<std::int64_t>(raw.size() * 8ULL * 1'000'000'000ULL /
+                                                 w->config.bandwidth_bps);
+    const common::Duration tx_delay{tx_ns};
+    w->next_free = start_tx + tx_delay;
+    const common::SimTime arrival = start_tx + tx_delay + w->config.latency;
+
+    for (CaptureTap* tap : taps_) tap->on_capture(scheduler_.now(), from, w->peer, raw);
+
+    if (w->config.loss_probability > 0.0 && loss_rng_.chance(w->config.loss_probability)) {
+        counters_.dropped_frames += 1;
+        return;
+    }
+
+    const Endpoint to = w->peer;
+    scheduler_.schedule_at(arrival, [this, to, raw = std::move(raw)] {
+        Node& receiver = node(to.node);
+        auto parsed = wire::EthernetFrame::parse(raw);
+        if (parsed.ok()) {
+            receiver.on_frame(to.port, parsed.value(), raw);
+        } else {
+            receiver.on_bad_frame(to.port, raw);
+        }
+    });
+}
+
+void Network::start_all() {
+    started_ = true;
+    for (auto& n : nodes_) {
+        Node* raw = n.get();
+        scheduler_.schedule_after(common::Duration::zero(), [raw] { raw->start(); });
+    }
+}
+
+void Node::send(PortId out_port, const wire::EthernetFrame& frame) {
+    network().transmit(Endpoint{id(), out_port}, frame);
+}
+
+}  // namespace arpsec::sim

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/event_scheduler.hpp"
+#include "sim/node.hpp"
+
+namespace arpsec::sim {
+
+/// Physical characteristics of a point-to-point Ethernet link.
+struct LinkConfig {
+    common::Duration latency = common::Duration::micros(5);  // propagation delay
+    std::uint64_t bandwidth_bps = 100'000'000;               // 100 Mbit/s FastEthernet
+    double loss_probability = 0.0;                           // iid frame loss
+
+    static LinkConfig fast_ethernet() { return {}; }
+    static LinkConfig gigabit() {
+        return LinkConfig{common::Duration::micros(2), 1'000'000'000, 0.0};
+    }
+};
+
+/// Observes every frame as it is put on a wire. Used for pcap capture and
+/// for network-wide statistics; *schemes* never use global taps (they see
+/// traffic only through their own vantage point).
+class CaptureTap {
+public:
+    virtual ~CaptureTap() = default;
+    virtual void on_capture(common::SimTime at, Endpoint from, Endpoint to,
+                            std::span<const std::uint8_t> raw) = 0;
+};
+
+/// Counts of traffic placed on the wire, by EtherType.
+struct TrafficCounters {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t arp_frames = 0;
+    std::uint64_t arp_bytes = 0;
+    std::uint64_t ipv4_frames = 0;
+    std::uint64_t ipv4_bytes = 0;
+    std::uint64_t dropped_frames = 0;  // link loss
+};
+
+/// The simulated LAN: owns nodes, links, the event scheduler and the
+/// per-run RNG. This is the substitution for the paper's physical testbed.
+class Network {
+public:
+    explicit Network(std::uint64_t seed);
+
+    // Non-copyable, non-movable: nodes hold back-pointers.
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    [[nodiscard]] EventScheduler& scheduler() { return scheduler_; }
+    [[nodiscard]] common::SimTime now() const { return scheduler_.now(); }
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+    /// Adds a node; the network takes ownership and assigns the id.
+    NodeId add_node(std::unique_ptr<Node> node);
+
+    /// Constructs a node in place and returns a reference to it.
+    template <class T, class... Args>
+    T& emplace_node(Args&&... args) {
+        auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+        T& ref = *owned;
+        add_node(std::move(owned));
+        return ref;
+    }
+
+    [[nodiscard]] Node& node(NodeId id);
+    [[nodiscard]] const Node& node(NodeId id) const;
+    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+    /// Connects two node ports with a full-duplex link.
+    void connect(Endpoint a, Endpoint b, LinkConfig config = {});
+
+    /// Transmits `frame` out of (from.node, from.port). Models serialization
+    /// delay, FIFO queueing per link direction, propagation delay and loss.
+    void transmit(Endpoint from, const wire::EthernetFrame& frame);
+
+    /// Fork a deterministic RNG stream for an entity.
+    [[nodiscard]] common::Rng fork_rng(std::uint64_t stream_id) const {
+        return rng_root_.fork(stream_id);
+    }
+
+    void add_tap(CaptureTap* tap) { taps_.push_back(tap); }
+
+    /// Schedules start() for every node at the current time and returns.
+    void start_all();
+
+    [[nodiscard]] const TrafficCounters& counters() const { return counters_; }
+
+    /// Deterministic per-transmit loss decisions use this stream.
+    [[nodiscard]] common::Rng& loss_rng() { return loss_rng_; }
+
+private:
+    struct Wire {
+        Endpoint peer;
+        LinkConfig config;
+        common::SimTime next_free;  // when the transmitter may start the next frame
+    };
+
+    [[nodiscard]] Wire* wire_at(Endpoint e);
+
+    std::uint64_t seed_;
+    EventScheduler scheduler_;
+    common::Rng rng_root_;
+    common::Rng loss_rng_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::map<std::pair<NodeId, PortId>, Wire> wires_;
+    std::vector<CaptureTap*> taps_;
+    TrafficCounters counters_;
+    bool started_ = false;
+};
+
+}  // namespace arpsec::sim

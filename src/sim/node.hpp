@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "wire/ethernet.hpp"
+
+namespace arpsec::sim {
+
+class Network;
+
+using NodeId = std::uint32_t;
+using PortId = std::uint16_t;
+
+constexpr NodeId kInvalidNode = 0xFFFFFFFF;
+
+/// One end of a link.
+struct Endpoint {
+    NodeId node = kInvalidNode;
+    PortId port = 0;
+    bool operator==(const Endpoint&) const = default;
+};
+
+/// Base class for everything attached to the simulated LAN: hosts,
+/// switches, attackers, servers, passive monitors.
+class Node {
+public:
+    explicit Node(std::string name) : name_(std::move(name)) {}
+    virtual ~Node() = default;
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] NodeId id() const { return id_; }
+
+    /// Called once, at simulated time zero, after all nodes are wired up.
+    virtual void start() {}
+
+    /// A frame arrived on `in_port`. `frame` is the parsed view; `raw` is
+    /// the exact byte stream as it appeared on the wire.
+    virtual void on_frame(PortId in_port, const wire::EthernetFrame& frame,
+                          std::span<const std::uint8_t> raw) = 0;
+
+    /// A frame arrived that failed to parse (corrupted). Default: ignore.
+    virtual void on_bad_frame(PortId in_port, std::span<const std::uint8_t> raw) {
+        (void)in_port;
+        (void)raw;
+    }
+
+    /// The network this node is attached to. Valid after attachment.
+    /// Public so applications and schemes attached to a node can reach the
+    /// scheduler and clock.
+    [[nodiscard]] Network& network() const { return *network_; }
+
+protected:
+    friend class Network;
+
+    /// Transmits a frame out of the given local port.
+    void send(PortId out_port, const wire::EthernetFrame& frame);
+
+private:
+    std::string name_;
+    NodeId id_ = kInvalidNode;
+    Network* network_ = nullptr;
+};
+
+}  // namespace arpsec::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/network.hpp"
+#include "wire/pcap_writer.hpp"
+
+namespace arpsec::sim {
+
+/// Global capture tap that records every transmitted frame to a pcap file —
+/// the equivalent of running tcpdump on a mirror of the whole fabric.
+class PcapTap final : public CaptureTap {
+public:
+    explicit PcapTap(const std::string& path) : writer_(path) {}
+
+    void on_capture(common::SimTime at, Endpoint from, Endpoint to,
+                    std::span<const std::uint8_t> raw) override {
+        (void)from;
+        (void)to;
+        writer_.write(at, raw);
+    }
+
+    [[nodiscard]] std::size_t frames() const { return writer_.frames_written(); }
+
+private:
+    wire::PcapWriter writer_;
+};
+
+}  // namespace arpsec::sim

@@ -1,0 +1,116 @@
+#include "wire/arp_packet.hpp"
+
+namespace arpsec::wire {
+
+std::string to_string(ArpOp op) {
+    switch (op) {
+        case ArpOp::kRequest: return "request";
+        case ArpOp::kReply: return "reply";
+    }
+    return "op" + std::to_string(static_cast<int>(op));
+}
+
+Bytes ArpPacket::classic_bytes() const {
+    Bytes out;
+    out.reserve(kClassicSize);
+    ByteWriter w{out};
+    w.u16(htype);
+    w.u16(ptype);
+    w.u8(hlen);
+    w.u8(plen);
+    w.u16(static_cast<std::uint16_t>(op));
+    w.mac(sender_mac);
+    w.ipv4(sender_ip);
+    w.mac(target_mac);
+    w.ipv4(target_ip);
+    return out;
+}
+
+Bytes ArpPacket::serialize() const {
+    Bytes out = classic_bytes();
+    if (!auth.empty()) {
+        ByteWriter w{out};
+        w.u16(kAuthMagic);
+        w.u16(static_cast<std::uint16_t>(auth.size()));
+        w.bytes(auth);
+    }
+    return out;
+}
+
+common::Expected<ArpPacket> ArpPacket::parse(std::span<const std::uint8_t> data) {
+    using R = common::Expected<ArpPacket>;
+    ByteReader r{data};
+    ArpPacket p;
+    p.htype = r.u16();
+    p.ptype = r.u16();
+    p.hlen = r.u8();
+    p.plen = r.u8();
+    const std::uint16_t op = r.u16();
+    p.sender_mac = r.mac();
+    p.sender_ip = r.ipv4();
+    p.target_mac = r.mac();
+    p.target_ip = r.ipv4();
+    if (!r.ok()) return R::failure("ARP packet truncated");
+    if (p.htype != kHtypeEthernet || p.ptype != kPtypeIpv4) {
+        return R::failure("unsupported ARP hardware/protocol type");
+    }
+    if (p.hlen != MacAddress::kSize || p.plen != 4) {
+        return R::failure("unexpected ARP address lengths");
+    }
+    if (op != static_cast<std::uint16_t>(ArpOp::kRequest) &&
+        op != static_cast<std::uint16_t>(ArpOp::kReply)) {
+        return R::failure("unknown ARP opcode");
+    }
+    p.op = static_cast<ArpOp>(op);
+    // Optional authentication trailer. Ethernet padding is all zeros and
+    // cannot match the magic, so plain frames parse with an empty trailer.
+    if (r.remaining() >= 4) {
+        ByteReader peek{data.subspan(r.position())};
+        if (peek.u16() == kAuthMagic) {
+            r.skip(2);
+            const std::uint16_t len = r.u16();
+            p.auth = r.bytes(len);
+            if (!r.ok()) return R::failure("ARP auth trailer truncated");
+        }
+    }
+    return p;
+}
+
+ArpPacket ArpPacket::request(MacAddress mac, Ipv4Address self_ip, Ipv4Address ip) {
+    ArpPacket p;
+    p.op = ArpOp::kRequest;
+    p.sender_mac = mac;
+    p.sender_ip = self_ip;
+    p.target_mac = MacAddress::zero();
+    p.target_ip = ip;
+    return p;
+}
+
+ArpPacket ArpPacket::reply(MacAddress mac, Ipv4Address ip, MacAddress to_mac, Ipv4Address to_ip) {
+    ArpPacket p;
+    p.op = ArpOp::kReply;
+    p.sender_mac = mac;
+    p.sender_ip = ip;
+    p.target_mac = to_mac;
+    p.target_ip = to_ip;
+    return p;
+}
+
+ArpPacket ArpPacket::gratuitous(MacAddress mac, Ipv4Address ip, bool as_reply) {
+    ArpPacket p;
+    p.op = as_reply ? ArpOp::kReply : ArpOp::kRequest;
+    p.sender_mac = mac;
+    p.sender_ip = ip;
+    p.target_mac = as_reply ? MacAddress::broadcast() : MacAddress::zero();
+    p.target_ip = ip;
+    return p;
+}
+
+std::string ArpPacket::summary() const {
+    std::string s = "ARP " + to_string(op) + " " + sender_ip.to_string() + " is-at " +
+                    sender_mac.to_string() + " -> " + target_ip.to_string();
+    if (!auth.empty()) s += " [auth " + std::to_string(auth.size()) + "B]";
+    return s;
+}
+
+}  // namespace arpsec::wire

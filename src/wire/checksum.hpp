@@ -1,0 +1,11 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace arpsec::wire {
+
+/// RFC 1071 Internet checksum: one's-complement sum of 16-bit words.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace arpsec::wire

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/expected.hpp"
+#include "common/time.hpp"
+#include "wire/buffer.hpp"
+#include "wire/ipv4_address.hpp"
+#include "wire/mac_address.hpp"
+
+namespace arpsec::wire {
+
+enum class DhcpMessageType : std::uint8_t {
+    kDiscover = 1,
+    kOffer = 2,
+    kRequest = 3,
+    kDecline = 4,
+    kAck = 5,
+    kNak = 6,
+    kRelease = 7,
+};
+
+[[nodiscard]] std::string to_string(DhcpMessageType t);
+
+/// DHCP message (RFC 2131 BOOTP framing + the option set this framework
+/// uses). DHCP matters here because Dynamic ARP Inspection derives its
+/// binding table from snooped DHCP traffic, so leases must actually flow.
+struct DhcpMessage {
+    static constexpr std::uint16_t kServerPort = 67;
+    static constexpr std::uint16_t kClientPort = 68;
+    static constexpr std::uint32_t kMagicCookie = 0x63825363;
+    static constexpr std::uint16_t kFlagBroadcast = 0x8000;
+
+    std::uint8_t op = 1;  // 1 = BOOTREQUEST, 2 = BOOTREPLY
+    std::uint32_t xid = 0;
+    std::uint16_t secs = 0;
+    std::uint16_t flags = 0;
+    Ipv4Address ciaddr;  // client's current address (renewal)
+    Ipv4Address yiaddr;  // "your" address (server-assigned)
+    Ipv4Address siaddr;  // next server
+    Ipv4Address giaddr;  // relay agent
+    MacAddress chaddr;   // client hardware address
+
+    // Options.
+    DhcpMessageType message_type = DhcpMessageType::kDiscover;
+    std::optional<Ipv4Address> requested_ip;     // option 50
+    std::optional<std::uint32_t> lease_seconds;  // option 51
+    std::optional<Ipv4Address> server_id;        // option 54
+    std::optional<Ipv4Address> subnet_mask;      // option 1
+    std::optional<Ipv4Address> router;           // option 3
+
+    [[nodiscard]] Bytes serialize() const;
+    static common::Expected<DhcpMessage> parse(std::span<const std::uint8_t> data);
+
+    [[nodiscard]] bool is_request() const { return op == 1; }
+    [[nodiscard]] bool is_reply() const { return op == 2; }
+};
+
+}  // namespace arpsec::wire

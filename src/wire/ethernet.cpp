@@ -1,0 +1,50 @@
+#include "wire/ethernet.hpp"
+
+#include <algorithm>
+
+namespace arpsec::wire {
+
+std::string to_string(EtherType t) {
+    switch (t) {
+        case EtherType::kIpv4: return "IPv4";
+        case EtherType::kArp: return "ARP";
+    }
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%04x", static_cast<unsigned>(t));
+    return buf;
+}
+
+Bytes EthernetFrame::serialize() const {
+    Bytes out;
+    out.reserve(kHeaderSize + std::max(payload.size(), kMinPayload));
+    ByteWriter w{out};
+    w.mac(dst);
+    w.mac(src);
+    w.u16(static_cast<std::uint16_t>(ether_type));
+    w.bytes(payload);
+    if (payload.size() < kMinPayload) w.fill(kMinPayload - payload.size());
+    return out;
+}
+
+common::Expected<EthernetFrame> EthernetFrame::parse(std::span<const std::uint8_t> data) {
+    using R = common::Expected<EthernetFrame>;
+    ByteReader r{data};
+    EthernetFrame f;
+    f.dst = r.mac();
+    f.src = r.mac();
+    const std::uint16_t type = r.u16();
+    if (!r.ok()) return R::failure("frame shorter than Ethernet header");
+    if (type != static_cast<std::uint16_t>(EtherType::kIpv4) &&
+        type != static_cast<std::uint16_t>(EtherType::kArp)) {
+        return R::failure("unsupported EtherType");
+    }
+    f.ether_type = static_cast<EtherType>(type);
+    f.payload = r.rest();
+    return f;
+}
+
+std::size_t EthernetFrame::wire_size() const {
+    return kHeaderSize + std::max(payload.size(), kMinPayload);
+}
+
+}  // namespace arpsec::wire

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/expected.hpp"
+#include "wire/buffer.hpp"
+#include "wire/mac_address.hpp"
+
+namespace arpsec::wire {
+
+enum class EtherType : std::uint16_t {
+    kIpv4 = 0x0800,
+    kArp = 0x0806,
+};
+
+[[nodiscard]] std::string to_string(EtherType t);
+
+/// Ethernet II frame. The simulator serializes frames to wire bytes at
+/// transmit time and re-parses at every receiver, so detectors observe the
+/// exact byte stream a libpcap tap would.
+struct EthernetFrame {
+    static constexpr std::size_t kHeaderSize = 14;
+    static constexpr std::size_t kMinPayload = 46;   // 802.3 minimum (frames are padded)
+    static constexpr std::size_t kMaxPayload = 1500; // MTU
+
+    MacAddress dst;
+    MacAddress src;
+    EtherType ether_type = EtherType::kIpv4;
+    Bytes payload;
+
+    /// Serializes, padding the payload to the 46-byte Ethernet minimum.
+    [[nodiscard]] Bytes serialize() const;
+
+    static common::Expected<EthernetFrame> parse(std::span<const std::uint8_t> data);
+
+    /// Size on the wire after padding (excluding preamble/FCS, like pcap).
+    [[nodiscard]] std::size_t wire_size() const;
+};
+
+}  // namespace arpsec::wire

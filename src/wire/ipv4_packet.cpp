@@ -1,0 +1,57 @@
+#include "wire/ipv4_packet.hpp"
+
+#include "wire/checksum.hpp"
+
+namespace arpsec::wire {
+
+Bytes Ipv4Packet::serialize() const {
+    Bytes out;
+    out.reserve(kHeaderSize + payload.size());
+    ByteWriter w{out};
+    w.u8(0x45);  // version 4, IHL 5
+    w.u8(tos);
+    w.u16(static_cast<std::uint16_t>(kHeaderSize + payload.size()));
+    w.u16(identification);
+    w.u16(0);  // flags + fragment offset: fragmentation is not modelled
+    w.u8(ttl);
+    w.u8(static_cast<std::uint8_t>(protocol));
+    w.u16(0);  // checksum placeholder
+    w.ipv4(src);
+    w.ipv4(dst);
+    const std::uint16_t csum =
+        internet_checksum(std::span<const std::uint8_t>{out.data(), kHeaderSize});
+    out[10] = static_cast<std::uint8_t>(csum >> 8);
+    out[11] = static_cast<std::uint8_t>(csum);
+    w.bytes(payload);
+    return out;
+}
+
+common::Expected<Ipv4Packet> Ipv4Packet::parse(std::span<const std::uint8_t> data) {
+    using R = common::Expected<Ipv4Packet>;
+    if (data.size() < kHeaderSize) return R::failure("IPv4 packet shorter than header");
+    if (internet_checksum(data.first(kHeaderSize)) != 0) {
+        return R::failure("IPv4 header checksum mismatch");
+    }
+    ByteReader r{data};
+    Ipv4Packet p;
+    const std::uint8_t ver_ihl = r.u8();
+    if (ver_ihl != 0x45) return R::failure("unsupported IPv4 version/IHL");
+    p.tos = r.u8();
+    const std::uint16_t total_len = r.u16();
+    p.identification = r.u16();
+    const std::uint16_t flags_frag = r.u16();
+    if ((flags_frag & 0x3FFF) != 0) return R::failure("fragmented packets not supported");
+    p.ttl = r.u8();
+    p.protocol = static_cast<IpProto>(r.u8());
+    r.u16();  // checksum, already verified
+    p.src = r.ipv4();
+    p.dst = r.ipv4();
+    if (total_len < kHeaderSize || total_len > data.size()) {
+        return R::failure("IPv4 total length inconsistent with buffer");
+    }
+    p.payload = r.bytes(total_len - kHeaderSize);
+    if (!r.ok()) return R::failure("IPv4 payload truncated");
+    return p;
+}
+
+}  // namespace arpsec::wire

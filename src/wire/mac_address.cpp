@@ -1,0 +1,42 @@
+#include "wire/mac_address.hpp"
+
+#include <cstdio>
+
+namespace arpsec::wire {
+namespace {
+
+int nibble(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+common::Expected<MacAddress> MacAddress::parse(std::string_view text) {
+    using R = common::Expected<MacAddress>;
+    if (text.size() != 17) return R::failure("MAC address must be 17 characters");
+    std::array<std::uint8_t, kSize> octets{};
+    for (std::size_t i = 0; i < kSize; ++i) {
+        const std::size_t at = i * 3;
+        const int hi = nibble(text[at]);
+        const int lo = nibble(text[at + 1]);
+        if (hi < 0 || lo < 0) return R::failure("invalid hex digit in MAC address");
+        octets[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+        if (i + 1 < kSize) {
+            const char sep = text[at + 2];
+            if (sep != ':' && sep != '-') return R::failure("expected ':' or '-' separator");
+        }
+    }
+    return MacAddress{octets};
+}
+
+std::string MacAddress::to_string() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                  octets_[2], octets_[3], octets_[4], octets_[5]);
+    return buf;
+}
+
+}  // namespace arpsec::wire

@@ -1,0 +1,54 @@
+#include "wire/pcap_writer.hpp"
+
+#include <stdexcept>
+
+namespace arpsec::wire {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) throw std::runtime_error("PcapWriter: cannot open " + path);
+    u32(kMagic);
+    u16(2);  // version major
+    u16(4);  // version minor
+    u32(0);  // thiszone
+    u32(0);  // sigfigs
+    u32(kSnapLen);
+    u32(kLinkTypeEthernet);
+}
+
+PcapWriter::~PcapWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+}
+
+void PcapWriter::write(common::SimTime at, std::span<const std::uint8_t> frame) {
+    const std::int64_t ns = at.nanos();
+    u32(static_cast<std::uint32_t>(ns / 1'000'000'000));
+    u32(static_cast<std::uint32_t>((ns % 1'000'000'000) / 1'000));
+    u32(static_cast<std::uint32_t>(frame.size()));
+    u32(static_cast<std::uint32_t>(frame.size()));
+    std::fwrite(frame.data(), 1, frame.size(), file_);
+    ++frames_;
+}
+
+void PcapWriter::u16(std::uint16_t v) {
+    // pcap headers are written in the writer's native byte order; readers
+    // detect it from the magic. We write little-endian explicitly for
+    // platform-independent output.
+    const std::uint8_t b[2] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8)};
+    std::fwrite(b, 1, 2, file_);
+}
+
+void PcapWriter::u32(std::uint32_t v) {
+    const std::uint8_t b[4] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                               static_cast<std::uint8_t>(v >> 16),
+                               static_cast<std::uint8_t>(v >> 24)};
+    std::fwrite(b, 1, 4, file_);
+}
+
+}  // namespace arpsec::wire

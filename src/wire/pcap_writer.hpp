@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace arpsec::wire {
+
+/// Writes captured frames in classic libpcap format (magic 0xa1b2c3d4,
+/// LINKTYPE_ETHERNET), so simulated captures open directly in
+/// Wireshark/tcpdump. This is the output half of the libpcap substitution
+/// described in DESIGN.md.
+class PcapWriter {
+public:
+    /// Opens `path` for writing and emits the global header. Throws
+    /// std::runtime_error if the file cannot be opened.
+    explicit PcapWriter(const std::string& path);
+    ~PcapWriter();
+
+    PcapWriter(const PcapWriter&) = delete;
+    PcapWriter& operator=(const PcapWriter&) = delete;
+
+    /// Appends one frame with the given capture timestamp.
+    void write(common::SimTime at, std::span<const std::uint8_t> frame);
+
+    [[nodiscard]] std::size_t frames_written() const { return frames_; }
+
+private:
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+
+    std::FILE* file_ = nullptr;
+    std::size_t frames_ = 0;
+};
+
+}  // namespace arpsec::wire

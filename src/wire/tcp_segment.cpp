@@ -1,0 +1,63 @@
+#include "wire/tcp_segment.hpp"
+
+#include "wire/checksum.hpp"
+
+namespace arpsec::wire {
+
+Bytes TcpSegment::serialize() const {
+    Bytes out;
+    out.reserve(kHeaderSize + payload.size());
+    ByteWriter w{out};
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u32(seq);
+    w.u32(ack);
+    w.u8(5 << 4);  // data offset: 5 words, no options
+    w.u8(flags);
+    w.u16(window);
+    w.u16(0);  // checksum placeholder
+    w.u16(0);  // urgent pointer
+    w.bytes(payload);
+    const std::uint16_t csum = internet_checksum(out);
+    out[16] = static_cast<std::uint8_t>(csum >> 8);
+    out[17] = static_cast<std::uint8_t>(csum);
+    return out;
+}
+
+common::Expected<TcpSegment> TcpSegment::parse(std::span<const std::uint8_t> data) {
+    using R = common::Expected<TcpSegment>;
+    if (data.size() < kHeaderSize) return R::failure("TCP segment shorter than header");
+    ByteReader r{data};
+    TcpSegment s;
+    s.src_port = r.u16();
+    s.dst_port = r.u16();
+    s.seq = r.u32();
+    s.ack = r.u32();
+    const std::uint8_t offset_words = r.u8() >> 4;
+    if (offset_words != 5) return R::failure("TCP options not supported");
+    s.flags = r.u8();
+    s.window = r.u16();
+    r.u16();  // checksum (verified below over the whole buffer)
+    r.u16();  // urgent
+    // The IPv4 layer hands us exactly the segment (total-length bounded),
+    // so the checksum covers the full span.
+    if (internet_checksum(data) != 0) return R::failure("TCP checksum mismatch");
+    s.payload = r.rest();
+    return s;
+}
+
+std::string TcpSegment::summary() const {
+    std::string f;
+    if (has(kSyn)) f += "SYN,";
+    if (has(kAck)) f += "ACK,";
+    if (has(kFin)) f += "FIN,";
+    if (has(kRst)) f += "RST,";
+    if (has(kPsh)) f += "PSH,";
+    if (!f.empty()) f.pop_back();
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "TCP %u->%u [%s] seq=%u ack=%u len=%zu", src_port, dst_port,
+                  f.c_str(), seq, ack, payload.size());
+    return buf;
+}
+
+}  // namespace arpsec::wire

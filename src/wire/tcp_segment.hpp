@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/expected.hpp"
+#include "wire/buffer.hpp"
+
+namespace arpsec::wire {
+
+/// TCP segment (fixed 20-byte header, no options). Enough protocol surface
+/// for connection establishment, in-order data transfer, reset injection
+/// and teardown — the substrate behind the connection-hijacking arm of the
+/// attack taxonomy.
+struct TcpSegment {
+    static constexpr std::size_t kHeaderSize = 20;
+
+    enum Flags : std::uint8_t {
+        kFin = 0x01,
+        kSyn = 0x02,
+        kRst = 0x04,
+        kPsh = 0x08,
+        kAck = 0x10,
+    };
+
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t window = 65535;
+    Bytes payload;
+
+    [[nodiscard]] bool has(Flags f) const { return (flags & f) != 0; }
+
+    [[nodiscard]] Bytes serialize() const;
+    static common::Expected<TcpSegment> parse(std::span<const std::uint8_t> data);
+
+    [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace arpsec::wire

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/expected.hpp"
+#include "wire/buffer.hpp"
+
+namespace arpsec::wire {
+
+/// UDP datagram. The checksum is computed over the datagram only (the
+/// optional IPv4 pseudo-header is omitted; the simulator's IPv4 layer
+/// already integrity-checks addressing via its own header checksum).
+struct UdpDatagram {
+    static constexpr std::size_t kHeaderSize = 8;
+
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    Bytes payload;
+
+    [[nodiscard]] Bytes serialize() const;
+    static common::Expected<UdpDatagram> parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace arpsec::wire

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "arp/cache.hpp"
+#include "arp/policy.hpp"
+
+namespace arpsec::arp {
+namespace {
+
+using common::Duration;
+using common::SimTime;
+using wire::Ipv4Address;
+using wire::MacAddress;
+
+const Ipv4Address kIp{192, 168, 1, 20};
+const MacAddress kMacA = MacAddress::local(0xA);
+const MacAddress kMacB = MacAddress::local(0xB);
+
+SimTime at(std::int64_t seconds) { return SimTime::zero() + Duration::seconds(seconds); }
+
+// ---------------------------------------------------------------------------
+// Basic cache mechanics
+// ---------------------------------------------------------------------------
+
+TEST(ArpCacheTest, MissOnEmpty) {
+    ArpCache cache(CachePolicy::linux26());
+    EXPECT_FALSE(cache.lookup(kIp, at(0)).has_value());
+    EXPECT_EQ(cache.stats().lookups, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ArpCacheTest, SolicitedReplyCreatesAndHits) {
+    ArpCache cache(CachePolicy::linux26());
+    const auto out = cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0));
+    EXPECT_TRUE(out.accepted);
+    EXPECT_TRUE(out.created);
+    EXPECT_EQ(cache.lookup(kIp, at(1)), kMacA);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ArpCacheTest, EntryExpiresAfterTtl) {
+    CachePolicy p = CachePolicy::linux26();
+    p.entry_ttl = Duration::seconds(60);
+    ArpCache cache(p);
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0));
+    EXPECT_TRUE(cache.lookup(kIp, at(59)).has_value());
+    EXPECT_FALSE(cache.lookup(kIp, at(61)).has_value());
+    EXPECT_EQ(cache.stats().expirations, 1u);
+}
+
+TEST(ArpCacheTest, RefreshExtendsLifetime) {
+    ArpCache cache(CachePolicy::linux26());
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0));
+    cache.offer(kIp, kMacA, UpdateSource::kRequest, at(50));  // refresh
+    EXPECT_TRUE(cache.lookup(kIp, at(100)).has_value());      // 50 + 60 > 100
+}
+
+TEST(ArpCacheTest, StaticEntryNeverExpiresOrYields) {
+    ArpCache cache(CachePolicy::windows_xp());
+    cache.set_static(kIp, kMacA, at(0));
+    EXPECT_EQ(cache.lookup(kIp, at(100'000)), kMacA);
+    const auto out = cache.offer(kIp, kMacB, UpdateSource::kSolicitedReply, at(1));
+    EXPECT_FALSE(out.accepted);
+    EXPECT_STREQ(out.reject_reason, "static entry");
+    EXPECT_EQ(cache.lookup(kIp, at(2)), kMacA);
+}
+
+TEST(ArpCacheTest, ForceBypassesPolicyButNotStatic) {
+    ArpCache cache(CachePolicy::strict());
+    cache.force(kIp, kMacA, at(0));
+    EXPECT_EQ(cache.lookup(kIp, at(1)), kMacA);
+    cache.set_static(kIp, kMacB, at(2));
+    cache.force(kIp, kMacA, at(3));
+    EXPECT_EQ(cache.lookup(kIp, at(4)), kMacB);  // static wins
+}
+
+TEST(ArpCacheTest, EvictRemovesDynamicOnly) {
+    ArpCache cache(CachePolicy::linux26());
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0));
+    cache.evict(kIp);
+    EXPECT_FALSE(cache.lookup(kIp, at(1)).has_value());
+    cache.set_static(kIp, kMacB, at(2));
+    cache.evict(kIp);
+    EXPECT_TRUE(cache.lookup(kIp, at(3)).has_value());
+}
+
+TEST(ArpCacheTest, PurgeExpiredSweeps) {
+    ArpCache cache(CachePolicy::linux26());
+    for (std::uint8_t i = 0; i < 10; ++i) {
+        cache.offer(Ipv4Address{10, 0, 0, i}, MacAddress::local(i),
+                    UpdateSource::kSolicitedReply, at(0));
+    }
+    EXPECT_EQ(cache.size(), 10u);
+    EXPECT_EQ(cache.purge_expired(at(100)), 10u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ArpCacheTest, SnapshotListsEntries) {
+    ArpCache cache(CachePolicy::linux26());
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0));
+    cache.set_static(Ipv4Address{10, 0, 0, 1}, kMacB, at(0));
+    const auto snap = cache.snapshot();
+    EXPECT_EQ(snap.size(), 2u);
+}
+
+TEST(ArpCacheTest, CapacityEvictsLeastRecentlyConfirmed) {
+    CachePolicy p = CachePolicy::windows_xp();
+    p.max_entries = 4;
+    ArpCache cache(p);
+    for (std::uint8_t i = 0; i < 4; ++i) {
+        cache.offer(Ipv4Address{10, 0, 0, i}, MacAddress::local(i),
+                    UpdateSource::kSolicitedReply, at(i));
+    }
+    // Refresh entry 0 so entry 1 becomes the oldest.
+    cache.offer(Ipv4Address{10, 0, 0, 0}, MacAddress::local(0), UpdateSource::kRequest, at(10));
+    // A fifth entry evicts the least recently confirmed (entry 1).
+    EXPECT_TRUE(cache
+                    .offer(Ipv4Address{10, 0, 0, 99}, MacAddress::local(99),
+                           UpdateSource::kSolicitedReply, at(11))
+                    .accepted);
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_FALSE(cache.peek(Ipv4Address{10, 0, 0, 1}).has_value());
+    EXPECT_TRUE(cache.peek(Ipv4Address{10, 0, 0, 0}).has_value());
+    EXPECT_EQ(cache.stats().capacity_evictions, 1u);
+}
+
+TEST(ArpCacheTest, CapacityNeverEvictsStaticEntries) {
+    CachePolicy p = CachePolicy::windows_xp();
+    p.max_entries = 2;
+    ArpCache cache(p);
+    cache.set_static(Ipv4Address{10, 0, 0, 1}, kMacA, at(0));
+    cache.set_static(Ipv4Address{10, 0, 0, 2}, kMacB, at(0));
+    const auto out = cache.offer(Ipv4Address{10, 0, 0, 3}, MacAddress::local(3),
+                                 UpdateSource::kSolicitedReply, at(1));
+    EXPECT_FALSE(out.accepted);
+    EXPECT_STREQ(out.reject_reason, "table full of static entries");
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ArpCacheTest, UnlimitedWhenMaxEntriesZero) {
+    CachePolicy p = CachePolicy::windows_xp();
+    p.max_entries = 0;
+    ArpCache cache(p);
+    for (std::uint32_t i = 0; i < 5000; ++i) {
+        cache.offer(Ipv4Address{i}, MacAddress::local(i), UpdateSource::kSolicitedReply,
+                    at(0));
+    }
+    EXPECT_EQ(cache.size(), 5000u);
+    EXPECT_EQ(cache.stats().capacity_evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Policy differences (the acceptance rules behind table T1)
+// ---------------------------------------------------------------------------
+
+TEST(PolicyTest, LinuxIgnoresUnsolicitedCreateButUpdates) {
+    ArpCache cache(CachePolicy::linux26());
+    // Creation from an unsolicited reply is refused...
+    EXPECT_FALSE(cache.offer(kIp, kMacA, UpdateSource::kUnsolicitedReply, at(0)).accepted);
+    // ...but once an entry exists, an unsolicited reply overwrites it.
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(1));
+    const auto out = cache.offer(kIp, kMacB, UpdateSource::kUnsolicitedReply, at(2));
+    EXPECT_TRUE(out.accepted);
+    EXPECT_TRUE(out.overwrote);
+    EXPECT_EQ(out.previous_mac, kMacA);
+}
+
+TEST(PolicyTest, WindowsAcceptsUnsolicitedCreate) {
+    ArpCache cache(CachePolicy::windows_xp());
+    EXPECT_TRUE(cache.offer(kIp, kMacA, UpdateSource::kUnsolicitedReply, at(0)).accepted);
+    EXPECT_TRUE(cache.offer(kIp, kMacB, UpdateSource::kGratuitousReply, at(1)).accepted);
+}
+
+TEST(PolicyTest, FreeBsdIgnoresUnsolicitedEntirely) {
+    ArpCache cache(CachePolicy::freebsd5());
+    EXPECT_FALSE(cache.offer(kIp, kMacA, UpdateSource::kUnsolicitedReply, at(0)).accepted);
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(1));
+    EXPECT_FALSE(cache.offer(kIp, kMacB, UpdateSource::kUnsolicitedReply, at(2)).accepted);
+    EXPECT_FALSE(cache.offer(kIp, kMacB, UpdateSource::kGratuitousReply, at(3)).accepted);
+    EXPECT_EQ(cache.lookup(kIp, at(4)), kMacA);
+}
+
+TEST(PolicyTest, SolarisRefreshGuardBlocksFreshOverwrite) {
+    ArpCache cache(CachePolicy::solaris9());
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0));
+    // Within the 30s guard window the overwrite is refused...
+    const auto early = cache.offer(kIp, kMacB, UpdateSource::kUnsolicitedReply, at(10));
+    EXPECT_FALSE(early.accepted);
+    EXPECT_STREQ(early.reject_reason, "entry too fresh to overwrite");
+    // ...after the guard has elapsed (but before TTL) it is accepted.
+    const auto late = cache.offer(kIp, kMacB, UpdateSource::kUnsolicitedReply, at(40));
+    EXPECT_TRUE(late.accepted);
+    EXPECT_TRUE(late.overwrote);
+}
+
+TEST(PolicyTest, SolarisGuardDoesNotBlockSameMacRefresh) {
+    ArpCache cache(CachePolicy::solaris9());
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0));
+    EXPECT_TRUE(cache.offer(kIp, kMacA, UpdateSource::kUnsolicitedReply, at(5)).accepted);
+}
+
+TEST(PolicyTest, StrictOnlyAcceptsSolicited) {
+    ArpCache cache(CachePolicy::strict());
+    EXPECT_FALSE(cache.offer(kIp, kMacA, UpdateSource::kRequest, at(0)).accepted);
+    EXPECT_FALSE(cache.offer(kIp, kMacA, UpdateSource::kGratuitousRequest, at(0)).accepted);
+    EXPECT_TRUE(cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0)).accepted);
+}
+
+TEST(PolicyTest, AllProfilesHaveDistinctNames) {
+    const auto profiles = CachePolicy::all_profiles();
+    EXPECT_EQ(profiles.size(), 5u);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+            EXPECT_NE(profiles[i].name, profiles[j].name);
+        }
+    }
+}
+
+// Parameterized invariants that must hold for every profile.
+class PolicyInvariantTest : public ::testing::TestWithParam<CachePolicy> {};
+
+TEST_P(PolicyInvariantTest, SolicitedReplyAlwaysUsable) {
+    // Every stack must be able to complete its own resolutions.
+    EXPECT_TRUE(GetParam().allows_create(UpdateSource::kSolicitedReply));
+}
+
+TEST_P(PolicyInvariantTest, StaticAlwaysAllowed) {
+    EXPECT_TRUE(GetParam().allows_create(UpdateSource::kStatic));
+    EXPECT_TRUE(GetParam().allows_update(UpdateSource::kStatic));
+}
+
+TEST_P(PolicyInvariantTest, AcceptedOfferIsImmediatelyVisible) {
+    ArpCache cache(GetParam());
+    for (const auto src :
+         {UpdateSource::kSolicitedReply, UpdateSource::kUnsolicitedReply, UpdateSource::kRequest,
+          UpdateSource::kGratuitousRequest, UpdateSource::kGratuitousReply}) {
+        ArpCache fresh(GetParam());
+        const auto out = fresh.offer(kIp, kMacA, src, at(0));
+        if (out.accepted) {
+            EXPECT_EQ(fresh.lookup(kIp, at(0)), kMacA) << to_string(src);
+        } else {
+            EXPECT_FALSE(fresh.lookup(kIp, at(0)).has_value()) << to_string(src);
+        }
+    }
+}
+
+TEST_P(PolicyInvariantTest, RejectionsNeverMutate) {
+    ArpCache cache(GetParam());
+    cache.offer(kIp, kMacA, UpdateSource::kSolicitedReply, at(0));
+    const auto before = cache.peek(kIp);
+    for (const auto src :
+         {UpdateSource::kUnsolicitedReply, UpdateSource::kRequest,
+          UpdateSource::kGratuitousRequest, UpdateSource::kGratuitousReply}) {
+        const auto out = cache.offer(kIp, kMacB, src, at(1));
+        if (!out.accepted && before) {
+            const auto after = cache.peek(kIp);
+            ASSERT_TRUE(after.has_value());
+            EXPECT_EQ(after->mac, before->mac) << to_string(src);
+        }
+        // Restore for the next iteration.
+        cache.force(kIp, kMacA, at(0));
+    }
+}
+
+TEST_P(PolicyInvariantTest, StatsAreConsistent) {
+    ArpCache cache(GetParam());
+    for (int i = 0; i < 20; ++i) {
+        cache.offer(kIp, i % 2 == 0 ? kMacA : kMacB,
+                    i % 3 == 0 ? UpdateSource::kSolicitedReply : UpdateSource::kUnsolicitedReply,
+                    at(i));
+    }
+    const auto& s = cache.stats();
+    EXPECT_EQ(s.offers, 20u);
+    EXPECT_EQ(s.accepted + s.rejected_by_policy, s.offers);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, PolicyInvariantTest,
+                         ::testing::ValuesIn(CachePolicy::all_profiles()),
+                         [](const auto& info) {
+                             std::string name = info.param.name;
+                             for (char& c : name) {
+                                 if (c == '-' || c == '.') c = '_';
+                             }
+                             return name;
+                         });
+
+}  // namespace
+}  // namespace arpsec::arp

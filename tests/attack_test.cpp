@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hpp"
+#include "host/apps.hpp"
+#include "host/dhcp_server.hpp"
+#include "host/host.hpp"
+#include "l2/switch.hpp"
+#include "sim/network.hpp"
+
+namespace arpsec::attack {
+namespace {
+
+using common::Duration;
+using common::SimTime;
+using host::Host;
+using host::HostConfig;
+using wire::Ipv4Address;
+using wire::MacAddress;
+
+/// Victim + owner + attacker around a switch.
+struct AttackLan {
+    explicit AttackLan(std::uint64_t seed = 1,
+                       arp::CachePolicy policy = arp::CachePolicy::windows_xp())
+        : net(seed) {
+        sw = &net.emplace_node<l2::Switch>("switch", 6);
+
+        HostConfig vcfg;
+        vcfg.name = "victim";
+        vcfg.mac = MacAddress::local(10);
+        vcfg.static_ip = victim_ip;
+        vcfg.arp_policy = policy;
+        victim = &net.emplace_node<Host>(vcfg);
+        net.connect({victim->id(), 0}, {sw->id(), 0});
+
+        HostConfig ocfg;
+        ocfg.name = "owner";
+        ocfg.mac = MacAddress::local(20);
+        ocfg.static_ip = owner_ip;
+        ocfg.arp_policy = policy;
+        owner = &net.emplace_node<Host>(ocfg);
+        net.connect({owner->id(), 0}, {sw->id(), 1});
+
+        Attacker::Config acfg;
+        acfg.mac = MacAddress::local(0x666);
+        acfg.ip = Ipv4Address{192, 168, 1, 250};
+        attacker = &net.emplace_node<Attacker>(acfg);
+        net.connect({attacker->id(), 0}, {sw->id(), 2});
+    }
+
+    void run_to(std::int64_t seconds) {
+        if (!started) {
+            net.start_all();
+            started = true;
+        }
+        net.scheduler().run_until(SimTime::zero() + Duration::seconds(seconds));
+    }
+
+    [[nodiscard]] std::optional<MacAddress> victim_entry() const {
+        const auto e = victim->arp_cache().peek(owner_ip);
+        return e ? std::optional<MacAddress>(e->mac) : std::nullopt;
+    }
+
+    const Ipv4Address victim_ip{192, 168, 1, 10};
+    const Ipv4Address owner_ip{192, 168, 1, 20};
+    sim::Network net;
+    l2::Switch* sw;
+    Host* victim;
+    Host* owner;
+    Attacker* attacker;
+    bool started = false;
+};
+
+TEST(AttackerTest, UnsolicitedReplyPoisonsPermissiveStack) {
+    AttackLan lan;  // windows-xp accepts unsolicited creations
+    lan.run_to(1);
+    lan.attacker->start_poison({lan.victim_ip, lan.victim->mac(), lan.owner_ip,
+                                lan.attacker->mac(), PoisonVector::kUnsolicitedReply,
+                                Duration::zero()});
+    lan.run_to(2);
+    EXPECT_EQ(lan.victim_entry(), lan.attacker->mac());
+    EXPECT_EQ(lan.attacker->stats().poison_frames_sent, 1u);
+}
+
+TEST(AttackerTest, UnsolicitedReplyCannotCreateOnLinuxPolicy) {
+    AttackLan lan(1, arp::CachePolicy::linux26());
+    lan.run_to(1);
+    lan.attacker->start_poison({lan.victim_ip, lan.victim->mac(), lan.owner_ip,
+                                lan.attacker->mac(), PoisonVector::kUnsolicitedReply,
+                                Duration::zero()});
+    lan.run_to(2);
+    EXPECT_FALSE(lan.victim_entry().has_value());
+}
+
+TEST(AttackerTest, UnsolicitedReplyOverwritesExistingLinuxEntry) {
+    AttackLan lan(1, arp::CachePolicy::linux26());
+    lan.run_to(1);
+    lan.victim->resolve(lan.owner_ip, [](auto) {});
+    lan.run_to(2);
+    ASSERT_EQ(lan.victim_entry(), lan.owner->mac());
+    lan.attacker->start_poison({lan.victim_ip, lan.victim->mac(), lan.owner_ip,
+                                lan.attacker->mac(), PoisonVector::kUnsolicitedReply,
+                                Duration::zero()});
+    lan.run_to(3);
+    EXPECT_EQ(lan.victim_entry(), lan.attacker->mac());
+}
+
+TEST(AttackerTest, ForgedRequestPoisonsViaSenderFields) {
+    AttackLan lan(1, arp::CachePolicy::linux26());
+    lan.run_to(1);
+    lan.attacker->start_poison({lan.victim_ip, lan.victim->mac(), lan.owner_ip,
+                                lan.attacker->mac(), PoisonVector::kForgedRequest,
+                                Duration::zero()});
+    lan.run_to(2);
+    // linux26 learns from requests (create_on_request).
+    EXPECT_EQ(lan.victim_entry(), lan.attacker->mac());
+}
+
+TEST(AttackerTest, PeriodicCampaignKeepsRepoisoning) {
+    AttackLan lan;
+    lan.run_to(1);
+    const std::size_t id = lan.attacker->start_poison(
+        {lan.victim_ip, lan.victim->mac(), lan.owner_ip, lan.attacker->mac(),
+         PoisonVector::kUnsolicitedReply, Duration::seconds(1)});
+    lan.run_to(6);
+    EXPECT_GE(lan.attacker->stats().poison_frames_sent, 5u);
+    lan.attacker->stop_poison(id);
+    const auto sent = lan.attacker->stats().poison_frames_sent;
+    lan.run_to(10);
+    EXPECT_EQ(lan.attacker->stats().poison_frames_sent, sent);
+}
+
+TEST(AttackerTest, ReplyRaceAnswersVictimRequests) {
+    AttackLan lan(1, arp::CachePolicy::linux26());
+    lan.run_to(1);
+    lan.attacker->enable_reply_race(lan.owner_ip, lan.attacker->mac(), Duration::micros(10));
+    lan.victim->resolve(lan.owner_ip, [](auto) {});
+    lan.run_to(3);
+    EXPECT_GE(lan.attacker->stats().race_replies_sent, 1u);
+    // Both the owner and the attacker replied; under linux26 the later
+    // reply wins the cache. Either way an entry exists.
+    EXPECT_TRUE(lan.victim_entry().has_value());
+}
+
+TEST(AttackerTest, ReplyRaceFirstWriterWinsUnderRefreshGuard) {
+    // Under a Solaris-style refresh guard the *first* reply wins and the
+    // later one is rejected, so a fast attacker beats the real owner.
+    AttackLan lan(1, arp::CachePolicy::solaris9());
+    lan.run_to(1);
+    lan.attacker->enable_reply_race(lan.owner_ip, lan.attacker->mac(), Duration::zero());
+    // Solaris accepts gratuitous creations, so the owner's boot-time
+    // announcement already seeded the cache; expire it to force a race.
+    lan.victim->arp_cache().evict(lan.owner_ip);
+    lan.victim->resolve(lan.owner_ip, [](auto) {});
+    lan.run_to(3);
+    ASSERT_TRUE(lan.victim_entry().has_value());
+    // reaction delay 0 beats the owner's 15us processing delay.
+    EXPECT_EQ(lan.victim_entry(), lan.attacker->mac());
+}
+
+TEST(AttackerTest, MitmInterceptsAndRelays) {
+    AttackLan lan;
+    host::DeliveryLedger ledger;
+    host::UdpSinkApp sink(*lan.owner, 7000, &ledger);
+    host::TrafficApp traffic(*lan.victim, ledger,
+                             {{1, lan.owner_ip, 7000, Duration::millis(100)}});
+    lan.run_to(1);
+    lan.attacker->enable_relay(&ledger);
+    lan.attacker->start_mitm(lan.victim_ip, lan.victim->mac(), lan.owner_ip, lan.owner->mac(),
+                             Duration::seconds(1));
+    lan.run_to(10);
+    EXPECT_GT(ledger.intercepted(), 20u);
+    EXPECT_GT(lan.attacker->stats().frames_relayed, 20u);
+    // Stealth: deliveries continue despite interception.
+    EXPECT_GT(ledger.delivery_ratio(), 0.9);
+}
+
+TEST(AttackerTest, DosBlackholeDropsTraffic) {
+    AttackLan lan;
+    host::DeliveryLedger ledger;
+    host::UdpSinkApp sink(*lan.owner, 7000, &ledger);
+    host::TrafficApp traffic(*lan.victim, ledger,
+                             {{1, lan.owner_ip, 7000, Duration::millis(100)}});
+    lan.run_to(5);
+    const auto delivered_before = ledger.delivered();
+    EXPECT_GT(delivered_before, 30u);
+    // Poison with a nonexistent MAC, repeatedly (to survive TTL refresh).
+    lan.attacker->start_poison({lan.victim_ip, lan.victim->mac(), lan.owner_ip,
+                                MacAddress::local(0xDEAD00), PoisonVector::kUnsolicitedReply,
+                                Duration::seconds(1)});
+    lan.run_to(15);
+    const auto sent_after = ledger.sent();
+    const auto delivered_after = ledger.delivered();
+    // Almost nothing delivered during the blackhole window.
+    EXPECT_LT(static_cast<double>(delivered_after - delivered_before),
+              0.2 * static_cast<double>(sent_after - delivered_before));
+}
+
+TEST(AttackerTest, AnswersArpForOwnAddress) {
+    AttackLan lan;
+    lan.run_to(1);
+    std::optional<MacAddress> resolved;
+    lan.victim->resolve(Ipv4Address{192, 168, 1, 250}, [&](auto mac) { resolved = mac; });
+    lan.run_to(3);
+    EXPECT_EQ(resolved, lan.attacker->mac());
+}
+
+TEST(AttackerTest, MacFloodFillsCam) {
+    AttackLan lan;
+    lan.run_to(1);
+    lan.attacker->start_mac_flood(2000, 10'000.0);
+    lan.run_to(3);
+    EXPECT_EQ(lan.attacker->stats().flood_frames_sent, 2000u);
+    EXPECT_GT(lan.sw->cam().size(), 1000u);
+}
+
+TEST(AttackerTest, MacFloodAgainstDefaultCamCausesFailOpen) {
+    AttackLan lan;
+    lan.run_to(1);
+    // Fill a MikroTik-sized CAM (1024 entries).
+    lan.attacker->start_mac_flood(3000, 50'000.0);
+    lan.run_to(2);
+    EXPECT_TRUE(lan.sw->cam().full());
+    EXPECT_GT(lan.sw->cam().stats().full_drops, 0u);
+}
+
+TEST(AttackerTest, ProbeSpoofingAnswersUnicastProbes) {
+    AttackLan lan;
+    lan.run_to(1);
+    lan.attacker->spoof_probe_answers_for(lan.owner_ip);
+    // The victim probes the attacker's MAC for the owner's IP (as an
+    // Antidote-style verifier would if it believed the attacker owned it).
+    lan.victim->send_arp(
+        wire::ArpPacket::request(lan.victim->mac(), lan.victim_ip, lan.owner_ip),
+        lan.attacker->mac());
+    lan.run_to(2);
+    EXPECT_GE(lan.attacker->stats().poison_frames_sent, 1u);
+}
+
+TEST(AttackerTest, StopAllQuiescesEverything) {
+    AttackLan lan;
+    lan.run_to(1);
+    lan.attacker->start_poison({lan.victim_ip, lan.victim->mac(), lan.owner_ip,
+                                lan.attacker->mac(), PoisonVector::kUnsolicitedReply,
+                                Duration::millis(100)});
+    lan.attacker->enable_reply_race(lan.owner_ip, lan.attacker->mac(), Duration::zero());
+    lan.run_to(2);
+    lan.attacker->stop_all();
+    const auto sent = lan.attacker->stats().poison_frames_sent;
+    lan.victim->arp_cache().evict(lan.owner_ip);
+    lan.victim->resolve(lan.owner_ip, [](auto) {});
+    lan.run_to(5);
+    EXPECT_EQ(lan.attacker->stats().poison_frames_sent, sent);
+}
+
+TEST(AttackerTest, MacCloneDivertsVictimTraffic) {
+    AttackLan lan;
+    host::DeliveryLedger ledger;
+    host::UdpSinkApp sink(*lan.victim, 7000, &ledger);
+    host::TrafficApp traffic(*lan.owner, ledger,
+                             {{1, lan.victim_ip, 7000, Duration::millis(50)}});
+    lan.run_to(5);
+    const auto before = ledger.flow_stats(1);
+    EXPECT_GT(before.delivered, 50u);
+    // Clone the victim's MAC faster than the victim transmits: the switch
+    // CAM now points the victim's address at the attacker's port.
+    lan.attacker->start_mac_clone(lan.victim->mac(), Duration::millis(10));
+    lan.run_to(15);
+    const auto after = ledger.flow_stats(1);
+    const auto sent = after.sent - before.sent;
+    const auto delivered = after.delivered - before.delivered;
+    EXPECT_LT(static_cast<double>(delivered), 0.3 * static_cast<double>(sent));
+    EXPECT_GT(lan.attacker->stats().frames_sniffed, 20u);
+    EXPECT_GT(lan.attacker->stats().clone_frames_sent, 100u);
+}
+
+TEST(AttackerTest, DhcpStarvationExhaustsPool) {
+    sim::Network net(9);
+    auto& sw = net.emplace_node<l2::Switch>("switch", 6);
+    host::HostConfig gcfg;
+    gcfg.name = "gw";
+    gcfg.mac = MacAddress::local(1);
+    gcfg.static_ip = Ipv4Address{192, 168, 1, 1};
+    auto& gw = net.emplace_node<Host>(gcfg);
+    net.connect({gw.id(), 0}, {sw.id(), 0});
+    host::DhcpServer::Config dcfg;
+    dcfg.pool_size = 5;
+    host::DhcpServer server(gw, dcfg);
+    Attacker::Config acfg;
+    acfg.mac = MacAddress::local(0x666);
+    auto& attacker = net.emplace_node<Attacker>(acfg);
+    net.connect({attacker.id(), 0}, {sw.id(), 1});
+    net.start_all();
+    net.scheduler().run_until(common::SimTime::zero() + Duration::seconds(1));
+    attacker.start_dhcp_starvation(500, 100.0);
+    net.scheduler().run_until(common::SimTime::zero() + Duration::seconds(3));
+    EXPECT_GT(server.stats().pool_exhausted, 0u);
+    EXPECT_EQ(server.free_addresses(), 0u);
+    // A legitimate client joining mid-starvation is denied.
+    host::HostConfig ccfg;
+    ccfg.name = "client";
+    ccfg.mac = MacAddress::local(99);
+    auto& client = net.emplace_node<Host>(ccfg);
+    net.connect({client.id(), 0}, {sw.id(), 2});
+    net.scheduler().run_until(common::SimTime::zero() + Duration::seconds(5));
+    EXPECT_FALSE(client.has_ip());
+}
+
+TEST(AttackerTest, InjectRawReplaysCapturedFrame) {
+    AttackLan lan;
+    lan.run_to(1);
+    // Replay a hand-crafted unsolicited reply (windows policy accepts).
+    wire::EthernetFrame frame;
+    frame.dst = lan.victim->mac();
+    frame.src = lan.attacker->mac();
+    frame.ether_type = wire::EtherType::kArp;
+    frame.payload = wire::ArpPacket::reply(lan.attacker->mac(), lan.owner_ip,
+                                           lan.victim->mac(), lan.victim_ip)
+                        .serialize();
+    lan.attacker->inject_raw(frame);
+    lan.run_to(2);
+    EXPECT_EQ(lan.victim_entry(), lan.attacker->mac());
+}
+
+TEST(AttackerTest, SniffCounterIgnoresOwnAndBroadcast) {
+    AttackLan lan;
+    lan.run_to(2);
+    // Only broadcast (ARP/GARP) traffic so far: nothing counted as loot.
+    EXPECT_EQ(lan.attacker->stats().frames_sniffed, 0u);
+}
+
+TEST(AttackerTest, BroadcastMacPoisoningInterceptsViaFlooding) {
+    // Taxonomy corner: claim the owner's IP is at the *broadcast* MAC. The
+    // victim then addresses its unicast traffic to ff:ff..:ff and the whole
+    // LAN (attacker included) receives a copy.
+    AttackLan lan;  // windows policy accepts the unsolicited creation
+    lan.run_to(1);
+    lan.attacker->start_poison({lan.victim_ip, lan.victim->mac(), lan.owner_ip,
+                                MacAddress::broadcast(), PoisonVector::kUnsolicitedReply,
+                                Duration::zero()});
+    lan.run_to(2);
+    ASSERT_EQ(lan.victim_entry(), MacAddress::broadcast());
+    int owner_got = 0;
+    lan.owner->bind_udp(7000, [&](host::Host&, const host::UdpRxInfo&, const wire::Bytes&) {
+        ++owner_got;
+    });
+    lan.victim->send_udp(lan.owner_ip, 1, 7000, {1, 2, 3});
+    lan.run_to(3);
+    // The frame went out broadcast: the attacker intercepted a copy AND the
+    // owner still received it — interception without a delivery failure.
+    EXPECT_GE(lan.attacker->stats().frames_intercepted, 1u);
+    EXPECT_EQ(owner_got, 1);
+}
+
+TEST(AttackerTest, CacheFloodChurnsVictimNeighborTable) {
+    // Victim with a small neighbor table holds the owner's entry; flooding
+    // forged request senders evicts it under LRU pressure.
+    arp::CachePolicy small = arp::CachePolicy::linux26();
+    small.max_entries = 32;
+    AttackLan lan(1, small);
+    lan.run_to(1);
+    lan.victim->resolve(lan.owner_ip, [](auto) {});
+    lan.run_to(2);
+    ASSERT_TRUE(lan.victim_entry().has_value());
+    lan.attacker->start_cache_flood(lan.victim_ip, lan.victim->mac(), 500, 1000.0);
+    lan.run_to(4);
+    EXPECT_EQ(lan.attacker->stats().cache_flood_sent, 500u);
+    EXPECT_GT(lan.victim->arp_cache().stats().capacity_evictions, 100u);
+    // The legitimate entry was churned out (the victim will have to
+    // re-resolve — and potentially lose the next reply race).
+    EXPECT_FALSE(lan.victim_entry().has_value());
+    EXPECT_LE(lan.victim->arp_cache().size(), 32u);
+}
+
+TEST(PoisonVectorTest, Names) {
+    EXPECT_EQ(to_string(PoisonVector::kUnsolicitedReply), "unsolicited-reply");
+    EXPECT_EQ(to_string(PoisonVector::kForgedRequest), "forged-request");
+    EXPECT_EQ(to_string(PoisonVector::kGratuitousRequest), "gratuitous-request");
+    EXPECT_EQ(to_string(PoisonVector::kGratuitousReply), "gratuitous-reply");
+    EXPECT_EQ(to_string(PoisonVector::kReplyRace), "reply-race");
+}
+
+}  // namespace
+}  // namespace arpsec::attack

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/cost_model.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace arpsec::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+    return {s.begin(), s.end()};
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4 test vectors)
+// ---------------------------------------------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+    EXPECT_EQ(to_hex(Sha256::hash("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+    EXPECT_EQ(to_hex(Sha256::hash("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+    EXPECT_EQ(to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(to_hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+    Sha256 h;
+    h.update("hello ");
+    h.update("wor");
+    h.update("ld");
+    EXPECT_EQ(h.finish(), Sha256::hash("hello world"));
+}
+
+TEST(Sha256Test, BoundarySizesMatchSpec) {
+    // 55/56/64-byte messages straddle the padding boundary.
+    for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+        const std::string msg(n, 'x');
+        Sha256 incr;
+        for (char c : msg) incr.update(std::string_view{&c, 1});
+        EXPECT_EQ(incr.finish(), Sha256::hash(msg)) << "length " << n;
+    }
+}
+
+TEST(Sha256Test, ResetStartsFresh) {
+    Sha256 h;
+    h.update("garbage");
+    h.reset();
+    h.update("abc");
+    EXPECT_EQ(to_hex(h.finish()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DigestPrefix) {
+    const Digest d = Sha256::hash("abc");
+    EXPECT_EQ(digest_prefix_u64(d), 0xba7816bf8f01cfeaULL);
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA256 (RFC 4231)
+// ---------------------------------------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+    const auto key = std::vector<std::uint8_t>(20, 0x0b);
+    EXPECT_EQ(common::to_hex(hmac_sha256(key, bytes("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+    EXPECT_EQ(common::to_hex(hmac_sha256(bytes("Jefe"),
+                                         bytes("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+    const auto key = std::vector<std::uint8_t>(20, 0xaa);
+    const auto msg = std::vector<std::uint8_t>(50, 0xdd);
+    EXPECT_EQ(common::to_hex(hmac_sha256(key, msg)),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231LongKey) {
+    const auto key = std::vector<std::uint8_t>(131, 0xaa);
+    EXPECT_EQ(common::to_hex(hmac_sha256(
+                  key, bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DigestEqual) {
+    const Digest a = Sha256::hash("x");
+    Digest b = a;
+    EXPECT_TRUE(digest_equal(a, b));
+    b[31] ^= 1;
+    EXPECT_FALSE(digest_equal(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Primality / group construction
+// ---------------------------------------------------------------------------
+
+TEST(PrimalityTest, SmallNumbers) {
+    EXPECT_FALSE(is_prime_u64(0));
+    EXPECT_FALSE(is_prime_u64(1));
+    EXPECT_TRUE(is_prime_u64(2));
+    EXPECT_TRUE(is_prime_u64(3));
+    EXPECT_FALSE(is_prime_u64(4));
+    EXPECT_TRUE(is_prime_u64(97));
+    EXPECT_FALSE(is_prime_u64(91));  // 7*13
+}
+
+TEST(PrimalityTest, LargeKnownValues) {
+    EXPECT_TRUE(is_prime_u64((1ULL << 61) - 1));   // Mersenne prime
+    EXPECT_FALSE(is_prime_u64((1ULL << 62) - 1));
+    EXPECT_TRUE(is_prime_u64(0xFFFFFFFFFFFFFFC5ULL));  // largest 64-bit prime
+    // Strong pseudoprime to several small bases.
+    EXPECT_FALSE(is_prime_u64(3215031751ULL));
+}
+
+TEST(SchnorrGroupTest, ParametersSelfConsistent) {
+    const auto& g = SchnorrGroup::standard();
+    EXPECT_TRUE(is_prime_u64(g.p()));
+    EXPECT_TRUE(is_prime_u64(g.q()));
+    EXPECT_EQ((g.p() - 1) % g.q(), 0u);
+    EXPECT_NE(g.g(), 1u);
+    EXPECT_EQ(g.pow_mod_p(g.g(), g.q()), 1u);  // generator has order q
+}
+
+// ---------------------------------------------------------------------------
+// Schnorr signatures
+// ---------------------------------------------------------------------------
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+    const KeyPair kp = KeyPair::derive(12345);
+    const auto msg = bytes("the gateway 192.168.1.1 is at 02:00:00:00:00:01");
+    const Signature sig = kp.sign(msg);
+    EXPECT_TRUE(kp.public_key().verify(msg, sig));
+}
+
+TEST(SchnorrTest, TamperedMessageRejected) {
+    const KeyPair kp = KeyPair::derive(12345);
+    const auto msg = bytes("binding A");
+    const Signature sig = kp.sign(msg);
+    EXPECT_FALSE(kp.public_key().verify(bytes("binding B"), sig));
+}
+
+TEST(SchnorrTest, TamperedSignatureRejected) {
+    const KeyPair kp = KeyPair::derive(99);
+    const auto msg = bytes("msg");
+    Signature sig = kp.sign(msg);
+    sig.s ^= 1;
+    EXPECT_FALSE(kp.public_key().verify(msg, sig));
+    Signature sig2 = kp.sign(msg);
+    sig2.e ^= 1;
+    EXPECT_FALSE(kp.public_key().verify(msg, sig2));
+}
+
+TEST(SchnorrTest, WrongKeyRejected) {
+    const KeyPair alice = KeyPair::derive(1);
+    const KeyPair bob = KeyPair::derive(2);
+    const auto msg = bytes("claim");
+    EXPECT_FALSE(bob.public_key().verify(msg, alice.sign(msg)));
+}
+
+TEST(SchnorrTest, DeterministicDerivation) {
+    EXPECT_EQ(KeyPair::derive(7).public_key(), KeyPair::derive(7).public_key());
+    EXPECT_NE(KeyPair::derive(7).public_key(), KeyPair::derive(8).public_key());
+}
+
+TEST(SchnorrTest, ZeroSignatureNeverVerifies) {
+    const KeyPair kp = KeyPair::derive(3);
+    EXPECT_FALSE(kp.public_key().verify(bytes("m"), Signature{}));
+    EXPECT_FALSE(PublicKey{}.verify(bytes("m"), kp.sign(bytes("m"))));
+}
+
+TEST(SchnorrTest, SerializationRoundTrip) {
+    const KeyPair kp = KeyPair::derive(31337);
+    const auto msg = bytes("serialize me");
+    const Signature sig = kp.sign(msg);
+    const Signature back = Signature::deserialize(sig.serialize());
+    EXPECT_EQ(back, sig);
+    const PublicKey pk = PublicKey::deserialize(kp.public_key().serialize());
+    EXPECT_EQ(pk, kp.public_key());
+    EXPECT_TRUE(pk.verify(msg, back));
+}
+
+class SchnorrPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchnorrPropertyTest, ManyMessagesVerifyAndCrossFail) {
+    const KeyPair kp = KeyPair::derive(GetParam());
+    const KeyPair other = KeyPair::derive(GetParam() + 1000);
+    for (int i = 0; i < 50; ++i) {
+        const auto msg = bytes("message #" + std::to_string(i));
+        const Signature sig = kp.sign(msg);
+        EXPECT_TRUE(kp.public_key().verify(msg, sig));
+        EXPECT_FALSE(other.public_key().verify(msg, sig));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchnorrPropertyTest, ::testing::Values(1, 17, 9000, 424242));
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, FreeIsZero) {
+    const CostModel free = CostModel::free();
+    EXPECT_EQ(free.sign.count(), 0);
+    EXPECT_EQ(free.verify.count(), 0);
+}
+
+TEST(CostModelTest, ScalingIsLinear) {
+    const CostModel base;
+    const CostModel doubled = base.scaled(2.0);
+    EXPECT_EQ(doubled.sign.count(), base.sign.count() * 2);
+    EXPECT_EQ(doubled.verify.count(), base.verify.count() * 2);
+}
+
+TEST(CostModelTest, OpCountersAccumulate) {
+    OpCounters a{1, 2, 3, 4};
+    const OpCounters b{10, 20, 30, 40};
+    a += b;
+    EXPECT_EQ(a.signs, 11u);
+    EXPECT_EQ(a.verifies, 22u);
+    EXPECT_EQ(a.total(), 11u + 22u + 33u + 44u);
+}
+
+}  // namespace
+}  // namespace arpsec::crypto

@@ -1,0 +1,222 @@
+// Cross-module properties swept over every registered scheme: the axioms
+// the comparison matrix rests on. Each scheme runs in its natural habitat
+// (DAI needs DHCP-managed addressing; everything else runs static).
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "detect/registry.hpp"
+
+namespace arpsec {
+namespace {
+
+using common::Duration;
+using core::Addressing;
+using core::AttackKind;
+using core::ScenarioConfig;
+using core::ScenarioResult;
+using core::ScenarioRunner;
+
+Addressing natural_addressing(const std::string& scheme_name) {
+    return scheme_name == "dai" || scheme_name == "lease-monitor" ? Addressing::kDhcp
+                                                                  : Addressing::kStatic;
+}
+
+ScenarioConfig config_for(const std::string& scheme_name, AttackKind attack,
+                          std::uint64_t seed = 3) {
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.host_count = 4;
+    cfg.addressing = natural_addressing(scheme_name);
+    cfg.attack = attack;
+    cfg.duration = Duration::seconds(30);
+    cfg.attack_start = Duration::seconds(10);
+    cfg.attack_stop = Duration::seconds(25);
+    cfg.repoison_period = Duration::seconds(2);
+    return cfg;
+}
+
+class SchemeSweepTest : public ::testing::TestWithParam<std::string> {
+protected:
+    ScenarioResult run(AttackKind attack, std::uint64_t seed = 3) {
+        auto scheme = detect::make_scheme(GetParam());
+        EXPECT_NE(scheme, nullptr);
+        return ScenarioRunner::run_scheme(config_for(GetParam(), attack, seed), *scheme);
+    }
+};
+
+TEST_P(SchemeSweepTest, PreventionSchemesStopMitm) {
+    auto probe = detect::make_scheme(GetParam());
+    const auto traits = probe->traits();
+    const auto r = run(AttackKind::kMitm);
+    if (traits.prevents_poisoning) {
+        EXPECT_FALSE(r.attack_succeeded) << r.summary_line();
+        EXPECT_FALSE(r.victim_poisoned_at_end) << r.summary_line();
+        EXPECT_LT(r.attack_window.interception_ratio(), 0.05) << r.summary_line();
+    } else {
+        // No prevention claimed: the MITM goes through.
+        EXPECT_TRUE(r.attack_succeeded) << r.summary_line();
+    }
+}
+
+TEST_P(SchemeSweepTest, BenignRunNeverLooksLikeAnAttack) {
+    const auto r = run(AttackKind::kNone);
+    EXPECT_FALSE(r.attack_succeeded) << r.summary_line();
+    EXPECT_EQ(r.alerts.true_positives, 0u) << r.summary_line();
+    EXPECT_EQ(r.attack_window.intercepted, 0u);
+}
+
+TEST_P(SchemeSweepTest, BenignStableLanRaisesNoFalsePositives) {
+    // Without churn, no scheme should cry wolf.
+    const auto r = run(AttackKind::kNone);
+    EXPECT_EQ(r.alerts.false_positives, 0u) << r.summary_line();
+}
+
+TEST_P(SchemeSweepTest, TrafficFlowsOutsideTheAttackWindow) {
+    const auto r = run(AttackKind::kMitm);
+    EXPECT_GT(r.benign_window.delivery_ratio(), 0.85) << r.summary_line();
+}
+
+TEST_P(SchemeSweepTest, DeterministicAcrossIdenticalRuns) {
+    const auto a = run(AttackKind::kMitm, 5);
+    const auto b = run(AttackKind::kMitm, 5);
+    EXPECT_EQ(a.total_frames, b.total_frames);
+    EXPECT_EQ(a.alerts.true_positives, b.alerts.true_positives);
+    EXPECT_EQ(a.alerts.false_positives, b.alerts.false_positives);
+    EXPECT_EQ(a.attack_window.intercepted, b.attack_window.intercepted);
+}
+
+TEST_P(SchemeSweepTest, DetectorsRaiseTimelyAlertsUnderMitm) {
+    auto probe = detect::make_scheme(GetParam());
+    const auto traits = probe->traits();
+    const auto r = run(AttackKind::kMitm);
+    // Port security legitimately sees nothing: the poisoner uses its own
+    // NIC address. Every other detector must notice a persistent MITM.
+    if (traits.detects && GetParam() != "port-security") {
+        EXPECT_GE(r.alerts.true_positives, 1u) << r.summary_line();
+        ASSERT_TRUE(r.alerts.detection_latency.has_value()) << r.summary_line();
+        EXPECT_LT(r.alerts.detection_latency->to_seconds(), 10.0) << r.summary_line();
+    }
+}
+
+namespace {
+std::vector<std::string> scheme_names() {
+    std::vector<std::string> names;
+    for (const auto& reg : detect::all_schemes()) names.push_back(reg.name);
+    return names;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweepTest, ::testing::ValuesIn(scheme_names()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (c == '-' || c == '+') c = '_';
+                             }
+                             return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-scheme shape assertions (the qualitative claims of the analysis)
+// ---------------------------------------------------------------------------
+
+TEST(CrossSchemeTest, CryptoSchemesCostMoreThanSwitchSchemes) {
+    auto sarp = detect::make_scheme("s-arp");
+    auto dai = detect::make_scheme("dai");
+    const auto rs = ScenarioRunner::run_scheme(config_for("s-arp", AttackKind::kNone), *sarp);
+    const auto rd = ScenarioRunner::run_scheme(config_for("dai", AttackKind::kNone), *dai);
+    ASSERT_GT(rs.resolution_latency_us.count(), 0u);
+    ASSERT_GT(rd.resolution_latency_us.count(), 0u);
+    EXPECT_GT(rs.resolution_latency_us.median(), 10.0 * rd.resolution_latency_us.median());
+}
+
+TEST(CrossSchemeTest, PassiveDetectorsAddNoWireOverhead) {
+    auto none = detect::make_scheme("none");
+    auto watch = detect::make_scheme("arpwatch");
+    const auto r0 = ScenarioRunner::run_scheme(config_for("none", AttackKind::kNone), *none);
+    const auto r1 =
+        ScenarioRunner::run_scheme(config_for("arpwatch", AttackKind::kNone), *watch);
+    EXPECT_EQ(r0.arp_bytes, r1.arp_bytes);
+}
+
+TEST(CrossSchemeTest, SignedArpInflatesArpBytes) {
+    auto none = detect::make_scheme("none");
+    auto sarp = detect::make_scheme("s-arp");
+    const auto r0 = ScenarioRunner::run_scheme(config_for("none", AttackKind::kNone), *none);
+    const auto r1 = ScenarioRunner::run_scheme(config_for("s-arp", AttackKind::kNone), *sarp);
+    EXPECT_GT(r1.arp_bytes, r0.arp_bytes);
+}
+
+TEST(CrossSchemeTest, ArpwatchFalsePositivesWhereActiveProbeStaysQuiet) {
+    // The paper's key detection trade-off, reproduced end to end.
+    ScenarioConfig cfg = config_for("arpwatch", AttackKind::kNone);
+    cfg.churn.nic_swap = true;
+    auto watch = detect::make_scheme("arpwatch");
+    const auto rw = ScenarioRunner::run_scheme(cfg, *watch);
+    auto probe = detect::make_scheme("active-probe");
+    const auto rp = ScenarioRunner::run_scheme(cfg, *probe);
+    EXPECT_GE(rw.alerts.false_positives, 1u);
+    EXPECT_EQ(rp.alerts.false_positives, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation and robustness properties
+// ---------------------------------------------------------------------------
+
+class ConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationTest, LedgerInvariantsHoldAcrossSeedsAndAttacks) {
+    for (auto attack : {AttackKind::kNone, AttackKind::kMitm, AttackKind::kDosBlackhole,
+                        AttackKind::kReplyRace, AttackKind::kHijackOffline}) {
+        auto scheme = detect::make_scheme("none");
+        ScenarioConfig cfg = config_for("none", attack, GetParam());
+        const auto r = ScenarioRunner::run_scheme(cfg, *scheme);
+        // No window can deliver or intercept more than was sent.
+        EXPECT_LE(r.benign_window.delivered, r.benign_window.sent);
+        EXPECT_LE(r.attack_window.delivered, r.attack_window.sent + 5);  // in-flight slack
+        EXPECT_LE(r.victim_flow_attack_window.sent, r.attack_window.sent);
+        // Frame counters are self-consistent.
+        EXPECT_EQ(r.total_frames, r.arp_frames + (r.total_frames - r.arp_frames));
+        EXPECT_GE(r.total_bytes, r.arp_bytes);
+        // Alert classification is a partition.
+        EXPECT_EQ(r.alerts.true_positives + r.alerts.false_positives, r.raw_alerts.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest, ::testing::Values(1, 7, 23, 99));
+
+TEST(RobustnessTest, ArpSurvivesLossyLinks) {
+    // 2% frame loss: ARP's retransmissions keep resolution working; UDP
+    // (no retries) loses roughly the loss rate.
+    core::ScenarioConfig cfg;
+    cfg.seed = 13;
+    cfg.host_count = 4;
+    cfg.attack = AttackKind::kNone;
+    cfg.duration = Duration::seconds(30);
+    cfg.attack_start = Duration::seconds(10);
+    cfg.attack_stop = Duration::seconds(25);
+    cfg.link_loss = 0.02;
+    auto scheme = detect::make_scheme("none");
+    const auto r = ScenarioRunner::run_scheme(cfg, *scheme);
+    EXPECT_GT(r.benign_window.delivery_ratio(), 0.90);
+    EXPECT_GT(r.attack_window.delivery_ratio(), 0.90);
+    ASSERT_GT(r.resolution_latency_us.count(), 0u);
+}
+
+TEST(RobustnessTest, SArpSurvivesLossyLinks) {
+    core::ScenarioConfig cfg;
+    cfg.seed = 13;
+    cfg.host_count = 4;
+    cfg.attack = AttackKind::kNone;
+    cfg.duration = Duration::seconds(30);
+    cfg.attack_start = Duration::seconds(10);
+    cfg.attack_stop = Duration::seconds(25);
+    cfg.link_loss = 0.02;
+    auto scheme = detect::make_scheme("s-arp");
+    const auto r = ScenarioRunner::run_scheme(cfg, *scheme);
+    // Lost key-fetches and signed replies are retried via the ARP engine.
+    EXPECT_GT(r.attack_window.delivery_ratio(), 0.85);
+}
+
+}  // namespace
+}  // namespace arpsec

@@ -1,0 +1,512 @@
+#include <gtest/gtest.h>
+
+#include "l2/cam_table.hpp"
+#include "l2/switch.hpp"
+#include "sim/network.hpp"
+#include "wire/dhcp_message.hpp"
+#include "wire/ipv4_packet.hpp"
+#include "wire/udp_datagram.hpp"
+
+namespace arpsec::l2 {
+namespace {
+
+using common::Duration;
+using common::SimTime;
+using sim::PortId;
+using wire::ArpPacket;
+using wire::EthernetFrame;
+using wire::EtherType;
+using wire::Ipv4Address;
+using wire::MacAddress;
+
+SimTime at(std::int64_t seconds) { return SimTime::zero() + Duration::seconds(seconds); }
+
+// ---------------------------------------------------------------------------
+// CAM table
+// ---------------------------------------------------------------------------
+
+TEST(CamTableTest, LearnAndLookup) {
+    CamTable cam;
+    EXPECT_EQ(cam.learn(MacAddress::local(1), 3, at(0)), LearnResult::kLearned);
+    EXPECT_EQ(cam.lookup(MacAddress::local(1), at(1)), 3);
+    EXPECT_FALSE(cam.lookup(MacAddress::local(2), at(1)).has_value());
+}
+
+TEST(CamTableTest, RefreshAndMove) {
+    CamTable cam;
+    cam.learn(MacAddress::local(1), 3, at(0));
+    EXPECT_EQ(cam.learn(MacAddress::local(1), 3, at(1)), LearnResult::kRefreshed);
+    EXPECT_EQ(cam.learn(MacAddress::local(1), 5, at(2)), LearnResult::kMoved);
+    EXPECT_EQ(cam.lookup(MacAddress::local(1), at(3)), 5);
+    EXPECT_EQ(cam.stats().moves, 1u);
+}
+
+TEST(CamTableTest, AgingExpiresEntries) {
+    CamConfig cfg;
+    cfg.aging = Duration::seconds(300);
+    CamTable cam(cfg);
+    cam.learn(MacAddress::local(1), 3, at(0));
+    EXPECT_TRUE(cam.lookup(MacAddress::local(1), at(299)).has_value());
+    EXPECT_FALSE(cam.lookup(MacAddress::local(1), at(301)).has_value());
+}
+
+TEST(CamTableTest, RefreshExtendsAge) {
+    CamTable cam;
+    cam.learn(MacAddress::local(1), 3, at(0));
+    cam.learn(MacAddress::local(1), 3, at(250));
+    EXPECT_TRUE(cam.lookup(MacAddress::local(1), at(500)).has_value());
+}
+
+TEST(CamTableTest, CapacityBoundEnforced) {
+    CamConfig cfg;
+    cfg.capacity = 8;
+    CamTable cam(cfg);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(cam.learn(MacAddress::local(i), 0, at(0)), LearnResult::kLearned);
+    }
+    EXPECT_EQ(cam.learn(MacAddress::local(100), 0, at(1)), LearnResult::kTableFull);
+    EXPECT_TRUE(cam.full());
+    EXPECT_EQ(cam.stats().full_drops, 1u);
+}
+
+TEST(CamTableTest, FullTableReclaimsAgedEntries) {
+    CamConfig cfg;
+    cfg.capacity = 4;
+    cfg.aging = Duration::seconds(10);
+    CamTable cam(cfg);
+    for (std::uint64_t i = 0; i < 4; ++i) cam.learn(MacAddress::local(i), 0, at(0));
+    // All entries are stale at t=20: the new learn reclaims space.
+    EXPECT_EQ(cam.learn(MacAddress::local(100), 1, at(20)), LearnResult::kLearned);
+}
+
+TEST(CamTableTest, FlushPortRemovesOnlyThatPort) {
+    CamTable cam;
+    cam.learn(MacAddress::local(1), 1, at(0));
+    cam.learn(MacAddress::local(2), 2, at(0));
+    cam.flush_port(1);
+    EXPECT_FALSE(cam.lookup(MacAddress::local(1), at(0)).has_value());
+    EXPECT_TRUE(cam.lookup(MacAddress::local(2), at(0)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Switch forwarding
+// ---------------------------------------------------------------------------
+
+/// Endpoint node recording everything it receives.
+class Station final : public sim::Node {
+public:
+    explicit Station(std::string name, MacAddress mac) : sim::Node(std::move(name)), mac_(mac) {}
+    void on_frame(PortId, const EthernetFrame& frame, std::span<const std::uint8_t>) override {
+        received.push_back(frame);
+    }
+    void emit(const EthernetFrame& f) { send(0, f); }
+    [[nodiscard]] MacAddress mac() const { return mac_; }
+    std::vector<EthernetFrame> received;
+
+private:
+    MacAddress mac_;
+};
+
+struct Fabric {
+    explicit Fabric(std::size_t stations, CamConfig cam = CamConfig()) : net(1) {
+        sw = &net.emplace_node<Switch>("switch", stations + 2, cam);
+        for (std::size_t i = 0; i < stations; ++i) {
+            auto& s =
+                net.emplace_node<Station>("s" + std::to_string(i), MacAddress::local(i + 1));
+            net.connect({s.id(), 0}, {sw->id(), static_cast<PortId>(i)});
+            nodes.push_back(&s);
+        }
+        net.start_all();
+    }
+    void run() { net.scheduler().run_until(net.now() + Duration::seconds(1)); }
+
+    sim::Network net;
+    Switch* sw = nullptr;
+    std::vector<Station*> nodes;
+};
+
+EthernetFrame frame_between(MacAddress src, MacAddress dst,
+                            EtherType type = EtherType::kIpv4) {
+    EthernetFrame f;
+    f.src = src;
+    f.dst = dst;
+    f.ether_type = type;
+    if (type == EtherType::kIpv4) {
+        wire::Ipv4Packet p;
+        p.src = Ipv4Address{10, 0, 0, 1};
+        p.dst = Ipv4Address{10, 0, 0, 2};
+        f.payload = p.serialize();
+    } else {
+        f.payload = ArpPacket::request(src, Ipv4Address{10, 0, 0, 1}, Ipv4Address{10, 0, 0, 2})
+                        .serialize();
+    }
+    return f;
+}
+
+TEST(SwitchTest, FloodsUnknownUnicastThenLearns) {
+    Fabric f(3);
+    // s0 -> s1 (unknown): flooded to s1 and s2.
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), f.nodes[1]->mac()));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+    EXPECT_EQ(f.nodes[2]->received.size(), 1u);
+    // s1 -> s0: switch has learned s0's port; s2 sees nothing new.
+    f.nodes[1]->emit(frame_between(f.nodes[1]->mac(), f.nodes[0]->mac()));
+    f.run();
+    EXPECT_EQ(f.nodes[0]->received.size(), 1u);
+    EXPECT_EQ(f.nodes[2]->received.size(), 1u);
+    EXPECT_EQ(f.sw->forward_stats().unicast_forwarded, 1u);
+}
+
+TEST(SwitchTest, BroadcastReachesAllButIngress) {
+    Fabric f(4);
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    EXPECT_EQ(f.nodes[0]->received.size(), 0u);
+    for (std::size_t i = 1; i < 4; ++i) EXPECT_EQ(f.nodes[i]->received.size(), 1u);
+}
+
+TEST(SwitchTest, MirrorPortSeesEverything) {
+    Fabric f(3);
+    f.sw->set_mirror_port(2);  // s2 is the monitor
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), f.nodes[1]->mac()));
+    f.run();
+    f.nodes[1]->emit(frame_between(f.nodes[1]->mac(), f.nodes[0]->mac()));
+    f.run();
+    // Monitor saw both frames: the flooded one and the mirrored unicast.
+    EXPECT_EQ(f.nodes[2]->received.size(), 2u);
+    EXPECT_GE(f.sw->forward_stats().mirrored, 2u);
+}
+
+TEST(SwitchTest, CamExhaustionCausesFailOpenFlooding) {
+    CamConfig small;
+    small.capacity = 2;
+    Fabric f(3, small);
+    // Fill the CAM with two stations...
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.nodes[1]->emit(frame_between(f.nodes[1]->mac(), MacAddress::broadcast()));
+    f.run();
+    // ...s2 cannot be learned; traffic to it floods; CAM-full event fires.
+    f.nodes[2]->emit(frame_between(f.nodes[2]->mac(), f.nodes[0]->mac()));
+    f.run();
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), f.nodes[2]->mac()));
+    f.run();
+    bool cam_full_seen = false;
+    for (const auto& ev : f.sw->events()) {
+        if (ev.kind == SwitchEventKind::kCamFull) cam_full_seen = true;
+    }
+    EXPECT_TRUE(cam_full_seen);
+    // s1 received the flooded copy of traffic meant for s2 (eavesdropping).
+    EXPECT_GE(f.nodes[1]->received.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Port security
+// ---------------------------------------------------------------------------
+
+TEST(SwitchTest, PortSecurityShutsDownViolatingPort) {
+    Fabric f(3);
+    PortSecurityConfig ps;
+    ps.enabled = true;
+    ps.max_macs_per_port = 1;
+    f.sw->set_port_security(ps);
+
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    // Second source MAC on port 0 (MAC-spoofing / hub behind the port).
+    f.nodes[0]->emit(frame_between(MacAddress::local(0xBAD), MacAddress::broadcast()));
+    f.run();
+    EXPECT_TRUE(f.sw->port_shut(0));
+    // The original station is now cut off.
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 1u);  // only the first broadcast
+    // Re-enable restores service.
+    f.sw->reenable_port(0);
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 2u);
+}
+
+TEST(SwitchTest, StickyPortSecurityCatchesMacMove) {
+    Fabric f(3);
+    PortSecurityConfig ps;
+    ps.enabled = true;
+    ps.max_macs_per_port = 1;
+    ps.sticky = true;
+    f.sw->set_port_security(ps);
+
+    // s0's MAC is learned as sticky on port 0...
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    // ...the cloner on port 2 replays it: violation + shutdown of port 2.
+    f.nodes[2]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    EXPECT_TRUE(f.sw->port_shut(2));
+    EXPECT_FALSE(f.sw->port_shut(0));
+    // The legitimate owner continues to work.
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    EXPECT_GE(f.nodes[1]->received.size(), 2u);
+}
+
+TEST(SwitchTest, NonStickyPortSecurityMissesMacMove) {
+    Fabric f(3);
+    PortSecurityConfig ps;
+    ps.enabled = true;
+    ps.max_macs_per_port = 1;
+    ps.sticky = false;
+    f.sw->set_port_security(ps);
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    f.nodes[2]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    // One MAC per port is satisfied on both ports: the clone slips through.
+    EXPECT_FALSE(f.sw->port_shut(2));
+}
+
+TEST(SwitchTest, PortSecurityIgnoresTrustedPorts) {
+    Fabric f(2);
+    PortSecurityConfig ps;
+    ps.enabled = true;
+    ps.max_macs_per_port = 1;
+    f.sw->set_port_security(ps);
+    f.sw->set_trusted_port(0, true);
+    f.nodes[0]->emit(frame_between(MacAddress::local(0x111), MacAddress::broadcast()));
+    f.nodes[0]->emit(frame_between(MacAddress::local(0x222), MacAddress::broadcast()));
+    f.run();
+    EXPECT_FALSE(f.sw->port_shut(0));
+}
+
+// ---------------------------------------------------------------------------
+// VLAN segmentation
+// ---------------------------------------------------------------------------
+
+TEST(SwitchTest, VlanConfinesBroadcast) {
+    Fabric f(4);
+    f.sw->set_port_vlan(0, 10);
+    f.sw->set_port_vlan(1, 10);
+    f.sw->set_port_vlan(2, 20);
+    f.sw->set_port_vlan(3, 20);
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 1u);  // same VLAN
+    EXPECT_EQ(f.nodes[2]->received.size(), 0u);  // other VLAN
+    EXPECT_EQ(f.nodes[3]->received.size(), 0u);
+}
+
+TEST(SwitchTest, VlanBlocksCrossVlanUnicast) {
+    Fabric f(3);
+    f.sw->set_port_vlan(0, 10);
+    f.sw->set_port_vlan(1, 20);
+    f.sw->set_port_vlan(2, 20);
+    // Learn s1 in VLAN 20.
+    f.nodes[1]->emit(frame_between(f.nodes[1]->mac(), MacAddress::broadcast()));
+    f.run();
+    // Unicast from VLAN 10 toward a VLAN-20 station never crosses: the CAM
+    // hit is in another VLAN, so the frame floods within VLAN 10 only —
+    // where nobody else lives.
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), f.nodes[1]->mac()));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 0u);
+    EXPECT_EQ(f.nodes[2]->received.size(), 1u);  // flooded within VLAN 20 earlier? no:
+    // s2 saw only s1's initial broadcast (same VLAN), nothing from s0.
+}
+
+TEST(SwitchTest, VlanConfinesArpPoisonBlastRadius) {
+    // Attacker segregated into its own VLAN cannot even deliver the forged
+    // reply — segmentation as a blunt mitigation.
+    Fabric f(3);
+    f.sw->set_port_vlan(0, 10);  // victim
+    f.sw->set_port_vlan(1, 10);  // peer
+    f.sw->set_port_vlan(2, 99);  // attacker
+    // Learn the victim's port via a broadcast.
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    f.nodes[2]->emit(frame_between(f.nodes[2]->mac(), f.nodes[0]->mac(), EtherType::kArp));
+    f.run();
+    EXPECT_EQ(f.nodes[0]->received.size(), 0u);  // forged frame never arrived
+}
+
+TEST(SwitchTest, MirrorPortSpansAllVlans) {
+    Fabric f(3);
+    f.sw->set_port_vlan(0, 10);
+    f.sw->set_port_vlan(1, 20);
+    f.sw->set_mirror_port(2);
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.nodes[1]->emit(frame_between(f.nodes[1]->mac(), MacAddress::broadcast()));
+    f.run();
+    EXPECT_EQ(f.nodes[2]->received.size(), 2u);  // SPAN sees both VLANs
+}
+
+// ---------------------------------------------------------------------------
+// DHCP snooping + DAI
+// ---------------------------------------------------------------------------
+
+EthernetFrame dhcp_frame(MacAddress src, std::uint8_t op, wire::DhcpMessageType type,
+                         MacAddress chaddr, Ipv4Address yiaddr) {
+    wire::DhcpMessage m;
+    m.op = op;
+    m.xid = 1;
+    m.chaddr = chaddr;
+    m.yiaddr = yiaddr;
+    m.message_type = type;
+    m.lease_seconds = 600;
+    wire::UdpDatagram udp;
+    udp.src_port = op == 1 ? wire::DhcpMessage::kClientPort : wire::DhcpMessage::kServerPort;
+    udp.dst_port = op == 1 ? wire::DhcpMessage::kServerPort : wire::DhcpMessage::kClientPort;
+    udp.payload = m.serialize();
+    wire::Ipv4Packet ip;
+    ip.src = Ipv4Address{0, 0, 0, 0};
+    ip.dst = Ipv4Address::broadcast();
+    ip.payload = udp.serialize();
+    EthernetFrame f;
+    f.src = src;
+    f.dst = MacAddress::broadcast();
+    f.ether_type = EtherType::kIpv4;
+    f.payload = ip.serialize();
+    return f;
+}
+
+TEST(SwitchTest, DhcpSnoopingBuildsBindingsAndBlocksRogue) {
+    Fabric f(3);                      // s0 = client, s1 = server, s2 = rogue
+    f.sw->enable_dhcp_snooping({1});  // port 1 trusted
+
+    const Ipv4Address leased{192, 168, 1, 100};
+    // Client REQUEST from port 0 records the client port.
+    f.nodes[0]->emit(dhcp_frame(f.nodes[0]->mac(), 1, wire::DhcpMessageType::kRequest,
+                                f.nodes[0]->mac(), {}));
+    f.run();
+    // Server ACK from trusted port installs the binding.
+    f.nodes[1]->emit(dhcp_frame(f.nodes[1]->mac(), 2, wire::DhcpMessageType::kAck,
+                                f.nodes[0]->mac(), leased));
+    f.run();
+    ASSERT_EQ(f.sw->bindings().count(leased), 1u);
+    EXPECT_EQ(f.sw->bindings().at(leased).mac, f.nodes[0]->mac());
+    EXPECT_EQ(f.sw->bindings().at(leased).port, 0);
+
+    // Rogue DHCP server on untrusted port 2 is dropped and logged.
+    const std::size_t before = f.nodes[0]->received.size();
+    f.nodes[2]->emit(dhcp_frame(f.nodes[2]->mac(), 2, wire::DhcpMessageType::kAck,
+                                f.nodes[0]->mac(), Ipv4Address{10, 0, 3, 100}));
+    f.run();
+    EXPECT_EQ(f.nodes[0]->received.size(), before);
+    bool rogue_logged = false;
+    for (const auto& ev : f.sw->events()) {
+        if (ev.kind == SwitchEventKind::kDhcpSnoopDrop) rogue_logged = true;
+    }
+    EXPECT_TRUE(rogue_logged);
+}
+
+EthernetFrame arp_claim(MacAddress frame_src, MacAddress sender_mac, Ipv4Address sender_ip) {
+    EthernetFrame f;
+    f.src = frame_src;
+    f.dst = MacAddress::broadcast();
+    f.ether_type = EtherType::kArp;
+    f.payload = ArpPacket::gratuitous(sender_mac, sender_ip, /*as_reply=*/true).serialize();
+    return f;
+}
+
+TEST(SwitchTest, DaiDropsClaimsWithoutBinding) {
+    Fabric f(2);
+    f.sw->enable_dhcp_snooping({});
+    ArpInspectionConfig dai;
+    dai.enabled = true;
+    f.sw->enable_arp_inspection(dai);
+
+    f.nodes[0]->emit(arp_claim(f.nodes[0]->mac(), f.nodes[0]->mac(), {192, 168, 1, 50}));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 0u);
+    ASSERT_FALSE(f.sw->events().empty());
+    EXPECT_EQ(f.sw->events().back().kind, SwitchEventKind::kDaiDrop);
+}
+
+TEST(SwitchTest, DaiAllowsMatchingBindingAndBlocksMismatch) {
+    Fabric f(3);
+    f.sw->enable_dhcp_snooping({});
+    ArpInspectionConfig dai;
+    dai.enabled = true;
+    f.sw->enable_arp_inspection(dai);
+    const Ipv4Address ip{192, 168, 1, 60};
+    f.sw->add_static_binding(ip, f.nodes[0]->mac(), 0);
+
+    // Matching claim from the right port passes.
+    f.nodes[0]->emit(arp_claim(f.nodes[0]->mac(), f.nodes[0]->mac(), ip));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+
+    // Claim for the same IP by another station is dropped.
+    f.nodes[2]->emit(arp_claim(f.nodes[2]->mac(), f.nodes[2]->mac(), ip));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+}
+
+TEST(SwitchTest, DaiValidatesEthernetSourceConsistency) {
+    Fabric f(2);
+    f.sw->enable_dhcp_snooping({});
+    ArpInspectionConfig dai;
+    dai.enabled = true;
+    f.sw->enable_arp_inspection(dai);
+    const Ipv4Address ip{192, 168, 1, 61};
+    f.sw->add_static_binding(ip, MacAddress::local(0xABC), Switch::kAnyPort);
+
+    // ARP sender MAC != Ethernet source: inconsistent, dropped.
+    f.nodes[0]->emit(arp_claim(f.nodes[0]->mac(), MacAddress::local(0xABC), ip));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 0u);
+}
+
+TEST(SwitchTest, DaiZeroSenderProbePasses) {
+    Fabric f(2);
+    f.sw->enable_dhcp_snooping({});
+    ArpInspectionConfig dai;
+    dai.enabled = true;
+    f.sw->enable_arp_inspection(dai);
+    EthernetFrame f0;
+    f0.src = f.nodes[0]->mac();
+    f0.dst = MacAddress::broadcast();
+    f0.ether_type = EtherType::kArp;
+    f0.payload = ArpPacket::request(f.nodes[0]->mac(), Ipv4Address::any(),
+                                    Ipv4Address{192, 168, 1, 9})
+                     .serialize();
+    f.nodes[0]->emit(f0);
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+}
+
+TEST(SwitchTest, DaiRateLimitDropsFloods) {
+    Fabric f(2);
+    f.sw->enable_dhcp_snooping({});
+    ArpInspectionConfig dai;
+    dai.enabled = true;
+    dai.rate_limit_pps = 15;
+    dai.err_disable_on_rate = false;
+    f.sw->enable_arp_inspection(dai);
+    const Ipv4Address ip{192, 168, 1, 70};
+    f.sw->add_static_binding(ip, f.nodes[0]->mac(), 0);
+    for (int i = 0; i < 50; ++i) {
+        f.nodes[0]->emit(arp_claim(f.nodes[0]->mac(), f.nodes[0]->mac(), ip));
+    }
+    f.run();
+    std::size_t rate_drops = 0;
+    for (const auto& ev : f.sw->events()) {
+        if (ev.kind == SwitchEventKind::kDaiRateLimited) ++rate_drops;
+    }
+    EXPECT_GE(rate_drops, 30u);
+    EXPECT_LE(f.nodes[1]->received.size(), 20u);
+}
+
+TEST(SwitchTest, TrustedPortBypassesDai) {
+    Fabric f(2);
+    f.sw->enable_dhcp_snooping({});
+    ArpInspectionConfig dai;
+    dai.enabled = true;
+    f.sw->enable_arp_inspection(dai);
+    f.sw->set_trusted_port(0, true);
+    f.nodes[0]->emit(arp_claim(f.nodes[0]->mac(), f.nodes[0]->mac(), {192, 168, 1, 80}));
+    f.run();
+    EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+}
+
+}  // namespace
+}  // namespace arpsec::l2

@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "wire/arp_packet.hpp"
+#include "wire/checksum.hpp"
+#include "wire/dhcp_message.hpp"
+#include "wire/ethernet.hpp"
+#include "wire/ipv4_packet.hpp"
+#include "wire/mac_address.hpp"
+#include "wire/pcap_writer.hpp"
+#include "wire/tcp_segment.hpp"
+#include "wire/udp_datagram.hpp"
+
+namespace arpsec::wire {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Addresses
+// ---------------------------------------------------------------------------
+
+TEST(MacAddressTest, FormatAndParseRoundTrip) {
+    const MacAddress m{0x4C, 0x34, 0x88, 0x5E, 0xEA, 0x85};
+    EXPECT_EQ(m.to_string(), "4c:34:88:5e:ea:85");
+    const auto parsed = MacAddress::parse("4c:34:88:5e:ea:85");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), m);
+}
+
+TEST(MacAddressTest, ParsesDashSeparators) {
+    const auto parsed = MacAddress::parse("4C-34-88-5E-EA-85");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->to_string(), "4c:34:88:5e:ea:85");
+}
+
+TEST(MacAddressTest, RejectsMalformed) {
+    EXPECT_FALSE(MacAddress::parse("").ok());
+    EXPECT_FALSE(MacAddress::parse("4c:34:88:5e:ea").ok());
+    EXPECT_FALSE(MacAddress::parse("4c:34:88:5e:ea:8g").ok());
+    EXPECT_FALSE(MacAddress::parse("4c.34.88.5e.ea.85").ok());
+}
+
+TEST(MacAddressTest, Classification) {
+    EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+    EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+    EXPECT_TRUE(MacAddress::zero().is_zero());
+    EXPECT_TRUE(MacAddress::local(42).is_unicast());
+    EXPECT_FALSE(MacAddress::local(42).is_multicast());
+}
+
+TEST(MacAddressTest, LocalIdsAreDistinct) {
+    EXPECT_NE(MacAddress::local(1), MacAddress::local(2));
+    EXPECT_EQ(MacAddress::local(7), MacAddress::local(7));
+}
+
+TEST(Ipv4AddressTest, FormatAndParse) {
+    const Ipv4Address a{192, 168, 1, 7};
+    EXPECT_EQ(a.to_string(), "192.168.1.7");
+    const auto parsed = Ipv4Address::parse("192.168.1.7");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), a);
+}
+
+TEST(Ipv4AddressTest, RejectsMalformed) {
+    EXPECT_FALSE(Ipv4Address::parse("192.168.1").ok());
+    EXPECT_FALSE(Ipv4Address::parse("192.168.1.256").ok());
+    EXPECT_FALSE(Ipv4Address::parse("192.168.1.7.8").ok());
+    EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").ok());
+    EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").ok());
+}
+
+TEST(Ipv4SubnetTest, ContainsAndBroadcast) {
+    const Ipv4Subnet net{Ipv4Address{192, 168, 1, 0}, 24};
+    EXPECT_TRUE(net.contains(Ipv4Address{192, 168, 1, 200}));
+    EXPECT_FALSE(net.contains(Ipv4Address{192, 168, 2, 1}));
+    EXPECT_EQ(net.broadcast_address(), (Ipv4Address{192, 168, 1, 255}));
+    EXPECT_EQ(net.host(10), (Ipv4Address{192, 168, 1, 10}));
+    EXPECT_EQ(net.to_string(), "192.168.1.0/24");
+}
+
+// ---------------------------------------------------------------------------
+// Checksum
+// ---------------------------------------------------------------------------
+
+TEST(ChecksumTest, KnownVector) {
+    // Classic example from RFC 1071 materials.
+    const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+    const std::uint16_t sum = internet_checksum(data);
+    // Verify the defining property: sum over data + checksum == 0.
+    std::vector<std::uint8_t> with = data;
+    with.push_back(static_cast<std::uint8_t>(sum >> 8));
+    with.push_back(static_cast<std::uint8_t>(sum));
+    EXPECT_EQ(internet_checksum(with), 0);
+}
+
+TEST(ChecksumTest, OddLengthHandled) {
+    const std::vector<std::uint8_t> data = {0xAB, 0xCD, 0xEF};
+    const std::uint16_t sum = internet_checksum(data);
+    std::vector<std::uint8_t> with = data;
+    with.push_back(0);  // pad to even before appending checksum word
+    with.push_back(static_cast<std::uint8_t>(sum >> 8));
+    with.push_back(static_cast<std::uint8_t>(sum));
+    // Padding a zero byte then checksum still sums to zero.
+    EXPECT_EQ(internet_checksum(with), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Ethernet
+// ---------------------------------------------------------------------------
+
+TEST(EthernetTest, RoundTrip) {
+    EthernetFrame f;
+    f.dst = MacAddress::local(1);
+    f.src = MacAddress::local(2);
+    f.ether_type = EtherType::kArp;
+    f.payload = {1, 2, 3, 4};
+    const Bytes raw = f.serialize();
+    EXPECT_EQ(raw.size(), EthernetFrame::kHeaderSize + EthernetFrame::kMinPayload);
+    const auto parsed = EthernetFrame::parse(raw);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->dst, f.dst);
+    EXPECT_EQ(parsed->src, f.src);
+    EXPECT_EQ(parsed->ether_type, EtherType::kArp);
+    // Payload includes padding; prefix must match.
+    ASSERT_GE(parsed->payload.size(), f.payload.size());
+    EXPECT_TRUE(std::equal(f.payload.begin(), f.payload.end(), parsed->payload.begin()));
+}
+
+TEST(EthernetTest, LargePayloadNotPadded) {
+    EthernetFrame f;
+    f.payload.assign(500, 0xAA);
+    EXPECT_EQ(f.serialize().size(), EthernetFrame::kHeaderSize + 500);
+    EXPECT_EQ(f.wire_size(), EthernetFrame::kHeaderSize + 500);
+}
+
+TEST(EthernetTest, RejectsShortAndUnknownType) {
+    EXPECT_FALSE(EthernetFrame::parse(Bytes(10, 0)).ok());
+    Bytes raw = EthernetFrame{}.serialize();
+    raw[12] = 0x12;  // bogus EtherType
+    raw[13] = 0x34;
+    EXPECT_FALSE(EthernetFrame::parse(raw).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ARP
+// ---------------------------------------------------------------------------
+
+TEST(ArpPacketTest, RequestRoundTrip) {
+    const ArpPacket req = ArpPacket::request(MacAddress::local(1), Ipv4Address{10, 0, 0, 1},
+                                             Ipv4Address{10, 0, 0, 2});
+    const auto parsed = ArpPacket::parse(req.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->op, ArpOp::kRequest);
+    EXPECT_EQ(parsed->sender_mac, MacAddress::local(1));
+    EXPECT_EQ(parsed->sender_ip, (Ipv4Address{10, 0, 0, 1}));
+    EXPECT_EQ(parsed->target_ip, (Ipv4Address{10, 0, 0, 2}));
+    EXPECT_TRUE(parsed->auth.empty());
+}
+
+TEST(ArpPacketTest, ReplyRoundTrip) {
+    const ArpPacket rep = ArpPacket::reply(MacAddress::local(2), Ipv4Address{10, 0, 0, 2},
+                                           MacAddress::local(1), Ipv4Address{10, 0, 0, 1});
+    const auto parsed = ArpPacket::parse(rep.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->op, ArpOp::kReply);
+    EXPECT_EQ(parsed->target_mac, MacAddress::local(1));
+}
+
+TEST(ArpPacketTest, GratuitousDetection) {
+    const ArpPacket g = ArpPacket::gratuitous(MacAddress::local(3), Ipv4Address{10, 0, 0, 3},
+                                              /*as_reply=*/true);
+    EXPECT_TRUE(g.is_gratuitous());
+    const ArpPacket normal = ArpPacket::request(MacAddress::local(1), Ipv4Address{10, 0, 0, 1},
+                                                Ipv4Address{10, 0, 0, 2});
+    EXPECT_FALSE(normal.is_gratuitous());
+}
+
+TEST(ArpPacketTest, AuthTrailerRoundTrip) {
+    ArpPacket p = ArpPacket::reply(MacAddress::local(2), Ipv4Address{10, 0, 0, 2},
+                                   MacAddress::local(1), Ipv4Address{10, 0, 0, 1});
+    p.auth = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+    const auto parsed = ArpPacket::parse(p.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->auth, p.auth);
+}
+
+TEST(ArpPacketTest, EthernetPaddingNotMistakenForAuth) {
+    // Serialize a classic ARP inside an Ethernet frame (which pads with
+    // zeros) and re-parse the padded payload: the trailer must stay empty.
+    EthernetFrame f;
+    f.ether_type = EtherType::kArp;
+    f.payload = ArpPacket::request(MacAddress::local(1), Ipv4Address{10, 0, 0, 1},
+                                   Ipv4Address{10, 0, 0, 2})
+                    .serialize();
+    const auto frame = EthernetFrame::parse(f.serialize());
+    ASSERT_TRUE(frame.ok());
+    const auto arp = ArpPacket::parse(frame->payload);
+    ASSERT_TRUE(arp.ok());
+    EXPECT_TRUE(arp->auth.empty());
+}
+
+TEST(ArpPacketTest, AuthSurvivesEthernetPadding) {
+    EthernetFrame f;
+    f.ether_type = EtherType::kArp;
+    ArpPacket p = ArpPacket::reply(MacAddress::local(2), Ipv4Address{10, 0, 0, 2},
+                                   MacAddress::local(1), Ipv4Address{10, 0, 0, 1});
+    p.auth = {1, 2, 3};
+    f.payload = p.serialize();
+    const auto frame = EthernetFrame::parse(f.serialize());
+    ASSERT_TRUE(frame.ok());
+    const auto arp = ArpPacket::parse(frame->payload);
+    ASSERT_TRUE(arp.ok());
+    EXPECT_EQ(arp->auth, p.auth);
+}
+
+TEST(ArpPacketTest, RejectsTruncatedAndBogus) {
+    EXPECT_FALSE(ArpPacket::parse(Bytes(10, 0)).ok());
+    ArpPacket p = ArpPacket::request(MacAddress::local(1), Ipv4Address{10, 0, 0, 1},
+                                     Ipv4Address{10, 0, 0, 2});
+    Bytes raw = p.serialize();
+    raw[6] = 0;  // opcode hi
+    raw[7] = 9;  // unknown opcode
+    EXPECT_FALSE(ArpPacket::parse(raw).ok());
+}
+
+// ---------------------------------------------------------------------------
+// IPv4 / UDP
+// ---------------------------------------------------------------------------
+
+TEST(Ipv4PacketTest, RoundTripAndChecksum) {
+    Ipv4Packet p;
+    p.src = Ipv4Address{10, 0, 0, 1};
+    p.dst = Ipv4Address{10, 0, 0, 2};
+    p.identification = 77;
+    p.ttl = 31;
+    p.payload = {9, 8, 7};
+    const Bytes raw = p.serialize();
+    const auto parsed = Ipv4Packet::parse(raw);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->src, p.src);
+    EXPECT_EQ(parsed->dst, p.dst);
+    EXPECT_EQ(parsed->identification, 77);
+    EXPECT_EQ(parsed->ttl, 31);
+    EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Ipv4PacketTest, DetectsHeaderCorruption) {
+    Ipv4Packet p;
+    p.src = Ipv4Address{10, 0, 0, 1};
+    p.dst = Ipv4Address{10, 0, 0, 2};
+    Bytes raw = p.serialize();
+    raw[15] ^= 0xFF;  // flip a destination byte
+    EXPECT_FALSE(Ipv4Packet::parse(raw).ok());
+}
+
+TEST(Ipv4PacketTest, ToleratesTrailingPadding) {
+    Ipv4Packet p;
+    p.src = Ipv4Address{10, 0, 0, 1};
+    p.dst = Ipv4Address{10, 0, 0, 2};
+    p.payload = {1, 2};
+    Bytes raw = p.serialize();
+    raw.insert(raw.end(), 20, 0);  // Ethernet padding
+    const auto parsed = Ipv4Packet::parse(raw);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(UdpDatagramTest, RoundTrip) {
+    UdpDatagram d;
+    d.src_port = 68;
+    d.dst_port = 67;
+    d.payload = {5, 4, 3, 2, 1};
+    const auto parsed = UdpDatagram::parse(d.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->src_port, 68);
+    EXPECT_EQ(parsed->dst_port, 67);
+    EXPECT_EQ(parsed->payload, d.payload);
+}
+
+TEST(UdpDatagramTest, DetectsPayloadCorruption) {
+    UdpDatagram d;
+    d.payload = {5, 4, 3};
+    Bytes raw = d.serialize();
+    raw.back() ^= 0x01;
+    EXPECT_FALSE(UdpDatagram::parse(raw).ok());
+}
+
+TEST(UdpDatagramTest, ToleratesTrailingPadding) {
+    UdpDatagram d;
+    d.src_port = 1;
+    d.dst_port = 2;
+    d.payload = {42};
+    Bytes raw = d.serialize();
+    raw.insert(raw.end(), 30, 0);
+    const auto parsed = UdpDatagram::parse(raw);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->payload, d.payload);
+}
+
+// ---------------------------------------------------------------------------
+// DHCP
+// ---------------------------------------------------------------------------
+
+TEST(DhcpMessageTest, DiscoverRoundTrip) {
+    DhcpMessage m;
+    m.op = 1;
+    m.xid = 0xDEADBEEF;
+    m.flags = DhcpMessage::kFlagBroadcast;
+    m.chaddr = MacAddress::local(5);
+    m.message_type = DhcpMessageType::kDiscover;
+    const auto parsed = DhcpMessage::parse(m.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->xid, 0xDEADBEEF);
+    EXPECT_EQ(parsed->chaddr, MacAddress::local(5));
+    EXPECT_EQ(parsed->message_type, DhcpMessageType::kDiscover);
+    EXPECT_FALSE(parsed->requested_ip.has_value());
+}
+
+TEST(DhcpMessageTest, AckWithAllOptionsRoundTrip) {
+    DhcpMessage m;
+    m.op = 2;
+    m.xid = 7;
+    m.yiaddr = Ipv4Address{192, 168, 1, 100};
+    m.chaddr = MacAddress::local(5);
+    m.message_type = DhcpMessageType::kAck;
+    m.lease_seconds = 3600;
+    m.server_id = Ipv4Address{192, 168, 1, 1};
+    m.subnet_mask = Ipv4Address{255, 255, 255, 0};
+    m.router = Ipv4Address{192, 168, 1, 1};
+    const auto parsed = DhcpMessage::parse(m.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->yiaddr, m.yiaddr);
+    EXPECT_EQ(parsed->lease_seconds, 3600u);
+    EXPECT_EQ(parsed->server_id, m.server_id);
+    EXPECT_EQ(parsed->subnet_mask, m.subnet_mask);
+    EXPECT_EQ(parsed->router, m.router);
+    EXPECT_TRUE(parsed->is_reply());
+}
+
+TEST(DhcpMessageTest, RejectsMissingCookieOrType) {
+    DhcpMessage m;
+    m.message_type = DhcpMessageType::kDiscover;
+    Bytes raw = m.serialize();
+    raw[236] ^= 0xFF;  // corrupt magic cookie
+    EXPECT_FALSE(DhcpMessage::parse(raw).ok());
+    EXPECT_FALSE(DhcpMessage::parse(Bytes(50, 0)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-flavoured property tests
+// ---------------------------------------------------------------------------
+
+class CodecFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzzTest, RandomBuffersNeverCrashParsers) {
+    common::Rng rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        const std::size_t len = rng.next_below(300);
+        Bytes buf(len);
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+        // None of these may crash or throw; failure results are fine.
+        (void)EthernetFrame::parse(buf);
+        (void)ArpPacket::parse(buf);
+        (void)Ipv4Packet::parse(buf);
+        (void)UdpDatagram::parse(buf);
+        (void)DhcpMessage::parse(buf);
+        (void)TcpSegment::parse(buf);
+    }
+}
+
+TEST_P(CodecFuzzTest, RandomArpPacketsRoundTrip) {
+    common::Rng rng(GetParam() ^ 0x1234);
+    for (int i = 0; i < 200; ++i) {
+        ArpPacket p;
+        p.op = rng.chance(0.5) ? ArpOp::kRequest : ArpOp::kReply;
+        p.sender_mac = MacAddress::local(rng.next_u64() & 0xFFFFFFFFFFULL);
+        p.target_mac = MacAddress::local(rng.next_u64() & 0xFFFFFFFFFFULL);
+        p.sender_ip = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+        p.target_ip = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+        if (rng.chance(0.5)) {
+            p.auth.resize(rng.next_below(64) + 1);
+            for (auto& b : p.auth) b = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        const auto parsed = ArpPacket::parse(p.serialize());
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed->op, p.op);
+        EXPECT_EQ(parsed->sender_mac, p.sender_mac);
+        EXPECT_EQ(parsed->sender_ip, p.sender_ip);
+        EXPECT_EQ(parsed->target_mac, p.target_mac);
+        EXPECT_EQ(parsed->target_ip, p.target_ip);
+        EXPECT_EQ(parsed->auth, p.auth);
+    }
+}
+
+TEST_P(CodecFuzzTest, RandomUdpOverIpv4RoundTrips) {
+    common::Rng rng(GetParam() ^ 0x9999);
+    for (int i = 0; i < 200; ++i) {
+        UdpDatagram udp;
+        udp.src_port = static_cast<std::uint16_t>(rng.next_u64());
+        udp.dst_port = static_cast<std::uint16_t>(rng.next_u64());
+        udp.payload.resize(rng.next_below(200));
+        for (auto& b : udp.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+
+        Ipv4Packet ip;
+        ip.src = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+        ip.dst = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+        ip.payload = udp.serialize();
+
+        const auto pip = Ipv4Packet::parse(ip.serialize());
+        ASSERT_TRUE(pip.ok());
+        const auto pudp = UdpDatagram::parse(pip->payload);
+        ASSERT_TRUE(pudp.ok());
+        EXPECT_EQ(pudp->payload, udp.payload);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest, ::testing::Values(1, 2, 3, 42, 1337));
+
+// ---------------------------------------------------------------------------
+// pcap
+// ---------------------------------------------------------------------------
+
+TEST(PcapWriterTest, WritesGlobalHeaderAndRecords) {
+    const std::string path = ::testing::TempDir() + "/arpsec_test.pcap";
+    {
+        PcapWriter w(path);
+        const Bytes frame(64, 0xAB);
+        w.write(common::SimTime{1'500'000'000}, frame);
+        w.write(common::SimTime{2'000'000'000}, frame);
+        EXPECT_EQ(w.frames_written(), 2u);
+    }
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::uint8_t header[24];
+    ASSERT_EQ(std::fread(header, 1, sizeof(header), f), sizeof(header));
+    // Little-endian classic pcap magic.
+    EXPECT_EQ(header[0], 0xd4);
+    EXPECT_EQ(header[1], 0xc3);
+    EXPECT_EQ(header[2], 0xb2);
+    EXPECT_EQ(header[3], 0xa1);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(size, 24 + 2 * (16 + 64));
+}
+
+}  // namespace
+}  // namespace arpsec::wire
