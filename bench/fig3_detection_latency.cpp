@@ -5,9 +5,11 @@
 
 #include <cstdio>
 
+#include "core/artifact.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "detect/registry.hpp"
+#include "telemetry/run_artifact.hpp"
 
 using namespace arpsec;
 
@@ -28,27 +30,48 @@ core::ScenarioConfig config(common::Duration repoison, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     const std::vector<common::Duration> periods = {
         common::Duration::millis(100), common::Duration::millis(500),
         common::Duration::seconds(2), common::Duration::seconds(10)};
     const std::vector<std::string> detectors = {"arpwatch", "snort-arpspoof", "active-probe",
                                                 "anticap", "antidote", "dai-static"};
 
+    // Sweep results are machine-readable by default: one run object per
+    // (scheme, period) point, written as a run artifact next to the table.
+    const std::string artifact_path = argc > 1 ? argv[1] : "fig3_detection_latency.runs.json";
+    telemetry::RunArtifact artifact("fig3_detection_latency");
+    artifact.set_meta("sweep_axis", "repoison_period_ms");
+
     core::TextTable table("F3 — Detection latency vs poison re-send interval (MITM)");
     table.set_headers({"scheme", "repoison", "first alert after", "TP alerts", "intercepted"});
     for (const auto& name : detectors) {
         for (const auto period : periods) {
             auto scheme = detect::make_scheme(name);
-            const auto r = core::ScenarioRunner::run_scheme(config(period, 21), *scheme);
+            core::ScenarioRunner runner(config(period, 21));
+            const auto r = runner.run(*scheme);
             table.add_row(
                 {name, period.to_string(),
                  r.alerts.detection_latency ? r.alerts.detection_latency->to_string() : "n/a",
                  std::to_string(r.alerts.true_positives),
                  core::fmt_percent(r.attack_window.interception_ratio())});
+
+            telemetry::Json run = core::run_json(r, &runner.metrics());
+            telemetry::Json sweep = telemetry::Json::object();
+            sweep["scheme"] = name;
+            sweep["repoison_period_ms"] = period.to_millis();
+            run["sweep"] = std::move(sweep);
+            artifact.add_run(std::move(run));
         }
     }
     table.print();
+
+    if (artifact.write(artifact_path)) {
+        std::printf("\nwrote %zu runs -> %s\n", artifact.run_count(), artifact_path.c_str());
+    } else {
+        std::fprintf(stderr, "failed to write %s\n", artifact_path.c_str());
+        return 1;
+    }
 
     std::puts("");
     std::puts("Reading: detection latency is dominated by the attacker's first");

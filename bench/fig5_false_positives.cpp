@@ -6,9 +6,11 @@
 
 #include <cstdio>
 
+#include "core/artifact.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "detect/registry.hpp"
+#include "telemetry/run_artifact.hpp"
 
 using namespace arpsec;
 
@@ -43,10 +45,14 @@ core::ScenarioConfig nic_swap_config(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     const std::vector<std::string> schemes = {"arpwatch",   "snort-arpspoof", "active-probe",
                                               "anticap",    "antidote",       "middleware",
                                               "gossip",     "lease-monitor",  "dai"};
+
+    const std::string artifact_path = argc > 1 ? argv[1] : "fig5_false_positives.runs.json";
+    telemetry::RunArtifact artifact("fig5_false_positives");
+    artifact.set_meta("sweep_axis", "churn kind x lease_seconds");
 
     {
         core::TextTable table(
@@ -56,9 +62,17 @@ int main() {
             std::vector<std::string> row{name};
             for (std::uint32_t lease : {60u, 120u, 600u}) {
                 auto scheme = detect::make_scheme(name);
-                const auto r =
-                    core::ScenarioRunner::run_scheme(dhcp_churn_config(lease, 31), *scheme);
+                core::ScenarioRunner runner(dhcp_churn_config(lease, 31));
+                const auto r = runner.run(*scheme);
                 row.push_back(std::to_string(r.alerts.false_positives));
+
+                telemetry::Json run = core::run_json(r, &runner.metrics());
+                telemetry::Json sweep = telemetry::Json::object();
+                sweep["scheme"] = name;
+                sweep["churn"] = "dhcp-recycle";
+                sweep["lease_seconds"] = static_cast<std::uint64_t>(lease);
+                run["sweep"] = std::move(sweep);
+                artifact.add_run(std::move(run));
             }
             table.add_row(std::move(row));
         }
@@ -72,7 +86,14 @@ int main() {
         for (const auto& name : schemes) {
             if (name == "dai" || name == "lease-monitor") continue;  // need DHCP
             auto scheme = detect::make_scheme(name);
-            const auto r = core::ScenarioRunner::run_scheme(nic_swap_config(32), *scheme);
+            core::ScenarioRunner runner(nic_swap_config(32));
+            const auto r = runner.run(*scheme);
+            telemetry::Json run = core::run_json(r, &runner.metrics());
+            telemetry::Json sweep = telemetry::Json::object();
+            sweep["scheme"] = name;
+            sweep["churn"] = "nic-swap";
+            run["sweep"] = std::move(sweep);
+            artifact.add_run(std::move(run));
             std::string note;
             if (name == "arpwatch") note = "flags the legitimate change";
             if (name == "snort-arpspoof") note = "stale table alarms forever";
@@ -84,6 +105,14 @@ int main() {
             table.add_row({name, std::to_string(r.alerts.false_positives), note});
         }
         table.print();
+    }
+
+    std::puts("");
+    if (artifact.write(artifact_path)) {
+        std::printf("wrote %zu runs -> %s\n", artifact.run_count(), artifact_path.c_str());
+    } else {
+        std::fprintf(stderr, "failed to write %s\n", artifact_path.c_str());
+        return 1;
     }
 
     std::puts("");

@@ -151,4 +151,16 @@ std::vector<std::pair<wire::Ipv4Address, CacheEntry>> ArpCache::snapshot() const
     return out;
 }
 
+void export_metrics(const CacheStats& stats, telemetry::MetricsRegistry& registry) {
+    registry.counter("arp.cache.lookups").inc(stats.lookups);
+    registry.counter("arp.cache.hits").inc(stats.hits);
+    registry.counter("arp.cache.misses").inc(stats.lookups - stats.hits);
+    registry.counter("arp.cache.offers").inc(stats.offers);
+    registry.counter("arp.cache.accepted").inc(stats.accepted);
+    registry.counter("arp.cache.rejected_by_policy").inc(stats.rejected_by_policy);
+    registry.counter("arp.cache.overwrites").inc(stats.overwrites);
+    registry.counter("arp.cache.expirations").inc(stats.expirations);
+    registry.counter("arp.cache.capacity_evictions").inc(stats.capacity_evictions);
+}
+
 }  // namespace arpsec::arp

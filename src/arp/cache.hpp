@@ -6,6 +6,7 @@
 
 #include "arp/policy.hpp"
 #include "common/time.hpp"
+#include "telemetry/metrics.hpp"
 #include "wire/ipv4_address.hpp"
 #include "wire/mac_address.hpp"
 
@@ -42,7 +43,25 @@ struct CacheStats {
     std::uint64_t overwrites = 0;
     std::uint64_t expirations = 0;
     std::uint64_t capacity_evictions = 0;  // LRU pressure from a full table
+
+    /// Fleet-wide aggregation (the harness pools every host's cache).
+    CacheStats& operator+=(const CacheStats& o) {
+        lookups += o.lookups;
+        hits += o.hits;
+        offers += o.offers;
+        accepted += o.accepted;
+        rejected_by_policy += o.rejected_by_policy;
+        overwrites += o.overwrites;
+        expirations += o.expirations;
+        capacity_evictions += o.capacity_evictions;
+        return *this;
+    }
 };
+
+/// Publishes a (possibly aggregated) CacheStats into `registry` under
+/// `arp.cache.*`. `overwrites` is the poisoning signal itself: a benign
+/// static-addressing run has zero, a successful poison has many.
+void export_metrics(const CacheStats& stats, telemetry::MetricsRegistry& registry);
 
 /// The ARP cache of one host, governed by a CachePolicy. Time flows in from
 /// the caller (the simulated host), keeping the cache testable in isolation.

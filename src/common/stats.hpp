@@ -11,7 +11,13 @@ namespace arpsec::common {
 /// latency distributions in the evaluation harness and benches.
 class Summary {
 public:
-    void add(double v) { samples_.push_back(v); }
+    void add(double v) {
+        samples_.push_back(v);
+        sorted_dirty_ = true;
+    }
+
+    /// Benches know their sweep size up front; avoid regrowth in add().
+    void reserve(std::size_t n) { samples_.reserve(n); }
 
     [[nodiscard]] std::size_t count() const { return samples_.size(); }
     [[nodiscard]] bool empty() const { return samples_.empty(); }
@@ -31,16 +37,17 @@ public:
         return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
     }
 
-    /// q in [0,1]; nearest-rank on the sorted samples.
+    /// q in [0,1]; nearest-rank on the sorted samples. The sorted view is
+    /// cached and only rebuilt after new samples arrive, so sweeping many
+    /// percentiles over one distribution sorts once, not per call.
     [[nodiscard]] double percentile(double q) const {
         if (samples_.empty()) return 0.0;
-        std::vector<double> sorted = samples_;
-        std::sort(sorted.begin(), sorted.end());
-        const auto n = sorted.size();
+        ensure_sorted();
+        const auto n = sorted_.size();
         auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
         if (idx > 0) --idx;
         if (idx >= n) idx = n - 1;
-        return sorted[idx];
+        return sorted_[idx];
     }
 
     [[nodiscard]] double median() const { return percentile(0.5); }
@@ -57,10 +64,22 @@ public:
 
     void merge(const Summary& other) {
         samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+        sorted_dirty_ = true;
     }
 
 private:
+    void ensure_sorted() const {
+        if (!sorted_dirty_) return;
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_dirty_ = false;
+    }
+
     std::vector<double> samples_;
+    // Lazily maintained sorted copy (percentile cache); mutable because
+    // percentile() is logically const.
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_dirty_ = true;
 };
 
 }  // namespace arpsec::common

@@ -1,0 +1,104 @@
+#include "core/artifact.hpp"
+
+namespace arpsec::core {
+
+using telemetry::Json;
+
+Json to_json(const ScenarioConfig& config) {
+    Json j = Json::object();
+    j["name"] = config.name;
+    j["seed"] = config.seed;
+    j["host_count"] = config.host_count;
+    j["addressing"] = to_string(config.addressing);
+    j["host_policy"] = config.host_policy.name;
+    j["duration_ms"] = config.duration.to_millis();
+    j["attack_start_ms"] = config.attack_start.to_millis();
+    j["attack_stop_ms"] = config.attack_stop.to_millis();
+    j["attack"] = to_string(config.attack);
+    j["poison_vector"] = attack::to_string(config.vector);
+    j["repoison_period_ms"] = config.repoison_period.to_millis();
+    j["traffic_period_ms"] = config.traffic_period.to_millis();
+    Json churn = Json::object();
+    churn["dhcp_recycles"] = config.churn.dhcp_recycles;
+    churn["nic_swap"] = config.churn.nic_swap;
+    j["churn"] = std::move(churn);
+    j["link_loss"] = config.link_loss;
+    j["lease_seconds"] = static_cast<std::uint64_t>(config.lease_seconds);
+    return j;
+}
+
+Json to_json(const WindowStats& w) {
+    Json j = Json::object();
+    j["sent"] = w.sent;
+    j["delivered"] = w.delivered;
+    j["intercepted"] = w.intercepted;
+    j["delivery_ratio"] = w.delivery_ratio();
+    j["interception_ratio"] = w.interception_ratio();
+    return j;
+}
+
+namespace {
+
+Json summary_json(const common::Summary& s) {
+    Json j = Json::object();
+    j["count"] = s.count();
+    j["mean"] = s.mean();
+    j["min"] = s.min();
+    j["p50"] = s.percentile(0.5);
+    j["p90"] = s.percentile(0.9);
+    j["p99"] = s.percentile(0.99);
+    j["max"] = s.max();
+    return j;
+}
+
+}  // namespace
+
+Json to_json(const ScenarioResult& result) {
+    Json j = Json::object();
+    j["scheme"] = result.scheme_name;
+    j["attack_succeeded"] = result.attack_succeeded;
+    j["victim_poisoned_at_end"] = result.victim_poisoned_at_end;
+
+    Json windows = Json::object();
+    windows["benign"] = to_json(result.benign_window);
+    windows["attack"] = to_json(result.attack_window);
+    windows["victim_flow_attack"] = to_json(result.victim_flow_attack_window);
+    j["windows"] = std::move(windows);
+
+    Json alerts = Json::object();
+    alerts["true_positives"] = result.alerts.true_positives;
+    alerts["false_positives"] = result.alerts.false_positives;
+    alerts["total"] = result.raw_alerts.size();
+    alerts["detection_latency_ms"] = result.alerts.detection_latency
+                                         ? Json(result.alerts.detection_latency->to_millis())
+                                         : Json(nullptr);
+    j["alerts"] = std::move(alerts);
+
+    Json overhead = Json::object();
+    overhead["total_frames"] = result.total_frames;
+    overhead["total_bytes"] = result.total_bytes;
+    overhead["arp_frames"] = result.arp_frames;
+    overhead["arp_bytes"] = result.arp_bytes;
+    overhead["events_executed"] = result.events_executed;
+    Json crypto = Json::object();
+    crypto["signs"] = result.crypto_ops.signs;
+    crypto["verifies"] = result.crypto_ops.verifies;
+    crypto["hashes"] = result.crypto_ops.hashes;
+    crypto["hmacs"] = result.crypto_ops.hmacs;
+    overhead["crypto_ops"] = std::move(crypto);
+    j["overhead"] = std::move(overhead);
+
+    j["resolution_latency_us"] = summary_json(result.resolution_latency_us);
+    return j;
+}
+
+Json run_json(const ScenarioResult& result, const telemetry::MetricsRegistry* metrics) {
+    Json j = Json::object();
+    j["scheme"] = result.scheme_name;
+    j["config"] = to_json(result.config);
+    j["result"] = to_json(result);
+    j["metrics"] = metrics != nullptr ? metrics->snapshot_json() : Json(nullptr);
+    return j;
+}
+
+}  // namespace arpsec::core

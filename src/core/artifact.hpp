@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/scenario.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace arpsec::core {
+
+/// JSON serialization of the scenario layer for telemetry::RunArtifact
+/// files. Schema documented in docs/OBSERVABILITY.md; bump the artifact
+/// schema tag when changing shapes, not just adding keys.
+[[nodiscard]] telemetry::Json to_json(const ScenarioConfig& config);
+[[nodiscard]] telemetry::Json to_json(const WindowStats& w);
+[[nodiscard]] telemetry::Json to_json(const ScenarioResult& result);
+
+/// One complete run object: {"scheme", "config" (incl. seed), "result",
+/// "metrics"}. `metrics` may be null when no registry was populated.
+[[nodiscard]] telemetry::Json run_json(const ScenarioResult& result,
+                                       const telemetry::MetricsRegistry* metrics);
+
+}  // namespace arpsec::core

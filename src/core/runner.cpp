@@ -49,6 +49,7 @@ ScenarioResult ScenarioRunner::run_scheme(const ScenarioConfig& config, detect::
 
 void ScenarioRunner::build() {
     net_ = std::make_unique<sim::Network>(config_.seed);
+    net_->attach_metrics(metrics_);
 
     const std::size_t ports =
         1 /*gateway*/ + config_.host_count + 1 /*attacker*/ + 1 /*monitor*/ +
@@ -255,6 +256,11 @@ void ScenarioRunner::schedule_timeline() {
 void ScenarioRunner::launch_attack() {
     if (config_.attack == AttackKind::kNone) return;
     host::Host* victim = hosts_.front();
+    if (tracer_ != nullptr) {
+        tracer_->instant("attack-launch", "attack", net_->now(),
+                         {{"kind", to_string(config_.attack)},
+                          {"vector", attack::to_string(config_.vector)}});
+    }
     victim_ip_at_attack_ = victim->has_ip() ? victim->ip() : static_host_ip(0);
     gateway_ip_at_attack_ = gateway_ip();
 
@@ -312,6 +318,10 @@ void ScenarioRunner::halt_attack() {
         victim_poisoned_at_end_ = attacker_macs_.count(entry->mac) != 0;
     }
     attacker_->stop_all();
+    if (tracer_ != nullptr) {
+        tracer_->instant("attack-halt", "attack", net_->now(),
+                         {{"victim_poisoned", victim_poisoned_at_end_ ? "true" : "false"}});
+    }
 }
 
 bool ScenarioRunner::is_attacker_alert(const detect::Alert& a) const {
@@ -371,7 +381,67 @@ ScenarioResult ScenarioRunner::collect(detect::Scheme& scheme) {
 
     r.crypto_ops = crypto_ops_;
     r.events_executed = net_->scheduler().executed();
+
+    publish_metrics(r);
+    trace_timeline(r);
     return r;
+}
+
+void ScenarioRunner::publish_metrics(const ScenarioResult& r) {
+    // sim.* counters accumulated live; everything below is the end-of-run
+    // aggregation across the layers.
+    switch_->export_metrics(metrics_);
+
+    arp::CacheStats arp_agg = gateway_->arp_cache().stats();
+    for (host::Host* h : hosts_) arp_agg += h->arp_cache().stats();
+    arp::export_metrics(arp_agg, metrics_);
+
+    alert_sink_.export_metrics(metrics_);
+    metrics_.counter("detect.alerts.true_positives").inc(r.alerts.true_positives);
+    metrics_.counter("detect.alerts.false_positives").inc(r.alerts.false_positives);
+    telemetry::Gauge& ttfa = metrics_.gauge("detect.time_to_first_alert_us");
+    ttfa.set(r.alerts.detection_latency
+                 ? static_cast<std::int64_t>(r.alerts.detection_latency->to_micros())
+                 : -1);
+
+    metrics_.counter("crypto.ops.signs").inc(r.crypto_ops.signs);
+    metrics_.counter("crypto.ops.verifies").inc(r.crypto_ops.verifies);
+    metrics_.counter("crypto.ops.hashes").inc(r.crypto_ops.hashes);
+    metrics_.counter("crypto.ops.hmacs").inc(r.crypto_ops.hmacs);
+
+    telemetry::Histogram& resolve = metrics_.histogram(
+        "arp.resolution_latency_us",
+        {10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 50000});
+    for (const double v : r.resolution_latency_us.samples()) resolve.observe(v);
+
+    metrics_.counter("scenario.traffic.sent").inc(ledger_.sent());
+    metrics_.counter("scenario.traffic.delivered").inc(ledger_.delivered());
+    metrics_.counter("scenario.traffic.intercepted").inc(ledger_.intercepted());
+}
+
+void ScenarioRunner::trace_timeline(const ScenarioResult& r) {
+    if (tracer_ == nullptr) return;
+    const SimTime t0 = SimTime::zero();
+    tracer_->complete("benign-window", "scenario", t0, config_.attack_start,
+                      {{"scheme", r.scheme_name}});
+    tracer_->complete("attack-window", "scenario", t0 + config_.attack_start,
+                      config_.attack_stop - config_.attack_start,
+                      {{"attack", to_string(config_.attack)},
+                       {"succeeded", r.attack_succeeded ? "true" : "false"}});
+    tracer_->complete("cooldown", "scenario", t0 + config_.attack_stop,
+                      config_.duration - config_.attack_stop);
+    // Alerts are replayed from the sink so the tracer never perturbs the
+    // scheme's own callback channel mid-run.
+    for (const detect::Alert& a : alert_sink_.alerts()) {
+        tracer_->instant("alert", "detect", a.at,
+                         {{"scheme", a.scheme},
+                          {"kind", detect::to_string(a.kind)},
+                          {"ip", a.ip.to_string()},
+                          {"claimed_mac", a.claimed_mac.to_string()},
+                          {"true_positive", is_attacker_alert(a) ? "true" : "false"}});
+    }
+    tracer_->instant("run-end", "scenario", t0 + config_.duration,
+                     {{"events_executed", std::to_string(r.events_executed)}});
 }
 
 ScenarioResult ScenarioRunner::run(detect::Scheme& scheme) {

@@ -14,6 +14,8 @@
 #include "host/ledger.hpp"
 #include "l2/switch.hpp"
 #include "sim/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace arpsec::core {
 
@@ -53,6 +55,17 @@ public:
 
     [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
+    /// Per-run metric store. Live `sim.*` series accumulate during the run;
+    /// the `l2.*`, `arp.*`, `detect.*` and `crypto.*` aggregates are
+    /// published when run() collects. Feed this to core::run_json() for the
+    /// machine-readable artifact.
+    [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+    /// Optional structured tracer (not owned; may be null). Records the
+    /// scenario timeline — window spans, attack launch/halt, churn, alerts —
+    /// in simulated time. Set before run().
+    void set_tracer(telemetry::EventTracer* tracer) { tracer_ = tracer; }
+
     /// Flow id used by the designated victim's traffic toward the gateway.
     static constexpr std::uint32_t kVictimFlowId = 1;
 
@@ -70,6 +83,8 @@ private:
     void launch_attack();
     void halt_attack();
     ScenarioResult collect(detect::Scheme& scheme);
+    void publish_metrics(const ScenarioResult& r);
+    void trace_timeline(const ScenarioResult& r);
     [[nodiscard]] bool is_attacker_alert(const detect::Alert& a) const;
 
     ScenarioConfig config_;
@@ -99,6 +114,9 @@ private:
     crypto::OpCounters crypto_ops_;
     bool victim_poisoned_at_end_ = false;
     detect::Scheme* active_scheme_ = nullptr;  // for churn-joiner protection
+
+    telemetry::MetricsRegistry metrics_;
+    telemetry::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace arpsec::core

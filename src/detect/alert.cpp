@@ -18,6 +18,19 @@ std::string to_string(AlertKind k) {
     return "?";
 }
 
+void AlertSink::export_metrics(telemetry::MetricsRegistry& registry) const {
+    registry.counter("detect.alerts.total").inc(alerts_.size());
+    telemetry::Gauge& first = registry.gauge("detect.first_alert_us");
+    first.set(-1);
+    if (!alerts_.empty()) {
+        first.set(static_cast<std::int64_t>(alerts_.front().at.nanos() / 1000));
+    }
+    for (const Alert& a : alerts_) {
+        registry.counter("detect.alerts.kind." + detect::to_string(a.kind)).inc();
+        registry.counter("detect.alerts.scheme." + a.scheme).inc();
+    }
+}
+
 std::string Alert::to_string() const {
     return "[" + at.to_string() + "] " + scheme + ": " + detect::to_string(kind) + " ip=" +
            ip.to_string() + " claimed=" + claimed_mac.to_string() +

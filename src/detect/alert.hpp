@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "telemetry/metrics.hpp"
 #include "wire/ipv4_address.hpp"
 #include "wire/mac_address.hpp"
 
@@ -52,6 +53,12 @@ public:
     [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
     [[nodiscard]] std::size_t count() const { return alerts_.size(); }
     void clear() { alerts_.clear(); }
+
+    /// Publishes alert totals into `registry`: `detect.alerts.total`, a
+    /// per-kind breakdown under `detect.alerts.kind.<kind>`, a per-scheme
+    /// breakdown under `detect.alerts.scheme.<scheme>`, and the time of the
+    /// first alert (`detect.first_alert_us` gauge, -1 when none fired).
+    void export_metrics(telemetry::MetricsRegistry& registry) const;
 
     /// Optional live callback (examples print alerts as they happen).
     std::function<void(const Alert&)> on_alert;

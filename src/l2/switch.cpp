@@ -274,4 +274,22 @@ bool Switch::apply_arp_inspection(sim::PortId in_port, const wire::EthernetFrame
     return false;
 }
 
+void Switch::export_metrics(telemetry::MetricsRegistry& registry) const {
+    registry.counter("l2.switch.frames_received").inc(stats_.received);
+    registry.counter("l2.switch.unicast_forwarded").inc(stats_.unicast_forwarded);
+    registry.counter("l2.switch.flooded").inc(stats_.flooded);
+    registry.counter("l2.switch.dropped").inc(stats_.dropped);
+    registry.counter("l2.switch.mirrored").inc(stats_.mirrored);
+    registry.counter("l2.switch.events").inc(events_.size());
+    registry.gauge("l2.switch.shut_ports").set(static_cast<std::int64_t>(shut_ports_.size()));
+
+    const CamStats& cam = cam_.stats();
+    registry.counter("l2.cam.inserts").inc(cam.learned);
+    registry.counter("l2.cam.refreshes").inc(cam.refreshed);
+    registry.counter("l2.cam.moves").inc(cam.moves);
+    registry.counter("l2.cam.full_drops").inc(cam.full_drops);
+    registry.counter("l2.cam.evictions").inc(cam.aged_out);
+    registry.gauge("l2.cam.size").set(static_cast<std::int64_t>(cam_.size()));
+}
+
 }  // namespace arpsec::l2

@@ -10,6 +10,7 @@
 #include "l2/cam_table.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
+#include "telemetry/metrics.hpp"
 #include "wire/arp_packet.hpp"
 #include "wire/dhcp_message.hpp"
 
@@ -131,6 +132,10 @@ public:
         std::uint64_t mirrored = 0;
     };
     [[nodiscard]] const ForwardStats& forward_stats() const { return stats_; }
+
+    /// Publishes the switch's forwarding and CAM statistics into `registry`
+    /// under `l2.switch.*` / `l2.cam.*` (snapshot at call time).
+    void export_metrics(telemetry::MetricsRegistry& registry) const;
 
 private:
     void schedule_cam_sweep();

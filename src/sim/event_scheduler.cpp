@@ -9,7 +9,16 @@ EventId EventScheduler::schedule_at(common::SimTime at, std::function<void()> fn
     if (at < now_) at = now_;  // events cannot fire in the past
     const EventId id = next_id_++;
     queue_.push(Event{at, id, std::move(fn)});
+    if (queue_depth_metric_ != nullptr) {
+        queue_depth_metric_->set(static_cast<std::int64_t>(pending()));
+    }
     return id;
+}
+
+void EventScheduler::attach_metrics(telemetry::MetricsRegistry& registry) {
+    executed_metric_ = &registry.counter("sim.sched.events_executed");
+    queue_depth_metric_ = &registry.gauge("sim.sched.queue_depth");
+    queue_depth_metric_->set(static_cast<std::int64_t>(pending()));
 }
 
 EventId EventScheduler::schedule_after(common::Duration delay, std::function<void()> fn) {
@@ -32,6 +41,7 @@ bool EventScheduler::fire_next() {
         }
         now_ = ev.at;
         ++executed_;
+        if (executed_metric_ != nullptr) executed_metric_->inc();
         ev.fn();
         return true;
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace arpsec::sim {
 
@@ -42,6 +43,12 @@ public:
     [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
     [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+    /// Publishes scheduler activity into `registry` from now on:
+    /// `sim.sched.events_executed` (counter) and `sim.sched.queue_depth`
+    /// (gauge whose high-water mark records the deepest queue seen).
+    /// Handles are resolved once here; the hot path pays one increment.
+    void attach_metrics(telemetry::MetricsRegistry& registry);
+
 private:
     struct Event {
         common::SimTime at;
@@ -62,6 +69,8 @@ private:
     std::uint64_t executed_ = 0;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     std::unordered_set<EventId> cancelled_;
+    telemetry::Counter* executed_metric_ = nullptr;
+    telemetry::Gauge* queue_depth_metric_ = nullptr;
 };
 
 }  // namespace arpsec::sim

@@ -59,12 +59,24 @@ void Network::transmit(Endpoint from, const wire::EthernetFrame& frame) {
 
     counters_.frames += 1;
     counters_.bytes += raw.size();
+    if (metrics_.frames != nullptr) {
+        metrics_.frames->inc();
+        metrics_.bytes->inc(raw.size());
+    }
     if (frame.ether_type == wire::EtherType::kArp) {
         counters_.arp_frames += 1;
         counters_.arp_bytes += raw.size();
+        if (metrics_.arp_frames != nullptr) {
+            metrics_.arp_frames->inc();
+            metrics_.arp_bytes->inc(raw.size());
+        }
     } else {
         counters_.ipv4_frames += 1;
         counters_.ipv4_bytes += raw.size();
+        if (metrics_.ipv4_frames != nullptr) {
+            metrics_.ipv4_frames->inc();
+            metrics_.ipv4_bytes->inc(raw.size());
+        }
     }
 
     // FIFO per link direction: serialization starts when the previous frame
@@ -80,6 +92,7 @@ void Network::transmit(Endpoint from, const wire::EthernetFrame& frame) {
 
     if (w->config.loss_probability > 0.0 && loss_rng_.chance(w->config.loss_probability)) {
         counters_.dropped_frames += 1;
+        if (metrics_.dropped_frames != nullptr) metrics_.dropped_frames->inc();
         return;
     }
 
@@ -93,6 +106,17 @@ void Network::transmit(Endpoint from, const wire::EthernetFrame& frame) {
             receiver.on_bad_frame(to.port, raw);
         }
     });
+}
+
+void Network::attach_metrics(telemetry::MetricsRegistry& registry) {
+    metrics_.frames = &registry.counter("sim.net.frames");
+    metrics_.bytes = &registry.counter("sim.net.bytes");
+    metrics_.arp_frames = &registry.counter("sim.net.arp_frames");
+    metrics_.arp_bytes = &registry.counter("sim.net.arp_bytes");
+    metrics_.ipv4_frames = &registry.counter("sim.net.ipv4_frames");
+    metrics_.ipv4_bytes = &registry.counter("sim.net.ipv4_bytes");
+    metrics_.dropped_frames = &registry.counter("sim.net.dropped_frames");
+    scheduler_.attach_metrics(registry);
 }
 
 void Network::start_all() {

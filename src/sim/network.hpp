@@ -8,6 +8,7 @@
 #include "common/time.hpp"
 #include "sim/event_scheduler.hpp"
 #include "sim/node.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace arpsec::sim {
 
@@ -93,6 +94,11 @@ public:
 
     [[nodiscard]] const TrafficCounters& counters() const { return counters_; }
 
+    /// Mirrors wire activity into `registry` from now on (`sim.net.*`
+    /// counters) and attaches the scheduler's metrics too. Counter handles
+    /// are resolved once; transmit() then pays plain increments.
+    void attach_metrics(telemetry::MetricsRegistry& registry);
+
     /// Deterministic per-transmit loss decisions use this stream.
     [[nodiscard]] common::Rng& loss_rng() { return loss_rng_; }
 
@@ -114,6 +120,17 @@ private:
     std::vector<CaptureTap*> taps_;
     TrafficCounters counters_;
     bool started_ = false;
+
+    struct WireMetrics {
+        telemetry::Counter* frames = nullptr;
+        telemetry::Counter* bytes = nullptr;
+        telemetry::Counter* arp_frames = nullptr;
+        telemetry::Counter* arp_bytes = nullptr;
+        telemetry::Counter* ipv4_frames = nullptr;
+        telemetry::Counter* ipv4_bytes = nullptr;
+        telemetry::Counter* dropped_frames = nullptr;
+    };
+    WireMetrics metrics_;
 };
 
 }  // namespace arpsec::sim

@@ -1,0 +1,137 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arpsec::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+    if (bounds_.empty()) throw std::logic_error("Histogram: at least one bucket bound required");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+        throw std::logic_error("Histogram: bucket bounds must be ascending");
+    }
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    sum_ += v;
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+    ++count_;
+}
+
+namespace {
+
+[[noreturn]] void type_collision(const std::string& name, const char* wanted) {
+    throw std::logic_error("MetricsRegistry: '" + name + "' already registered as a different "
+                           "metric type (wanted " + wanted + ")");
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    Entry& e = metrics_[name];
+    if (e.counter == nullptr) {
+        if (e.gauge != nullptr || e.histogram != nullptr) type_collision(name, "counter");
+        e.counter = std::make_unique<Counter>();
+    }
+    return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    Entry& e = metrics_[name];
+    if (e.gauge == nullptr) {
+        if (e.counter != nullptr || e.histogram != nullptr) type_collision(name, "gauge");
+        e.gauge = std::make_unique<Gauge>();
+    }
+    return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> upper_bounds) {
+    Entry& e = metrics_[name];
+    if (e.histogram == nullptr) {
+        if (e.counter != nullptr || e.gauge != nullptr) type_collision(name, "histogram");
+        e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    } else if (e.histogram->bounds() != upper_bounds) {
+        throw std::logic_error("MetricsRegistry: histogram '" + name +
+                               "' re-registered with different bucket bounds");
+    }
+    return *e.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+    auto it = metrics_.find(name);
+    return it == metrics_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+    auto it = metrics_.find(name);
+    return it == metrics_.end() ? nullptr : it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+    auto it = metrics_.find(name);
+    return it == metrics_.end() ? nullptr : it->second.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::samples() const {
+    std::vector<MetricSample> out;
+    out.reserve(metrics_.size());
+    for (const auto& [name, e] : metrics_) {
+        if (e.counter != nullptr) {
+            out.push_back({name, MetricSample::Kind::kCounter,
+                           static_cast<double>(e.counter->value())});
+        } else if (e.gauge != nullptr) {
+            out.push_back({name, MetricSample::Kind::kGauge,
+                           static_cast<double>(e.gauge->value())});
+        } else if (e.histogram != nullptr) {
+            out.push_back({name, MetricSample::Kind::kHistogram,
+                           static_cast<double>(e.histogram->count())});
+        }
+    }
+    return out;
+}
+
+Json MetricsRegistry::snapshot_json() const {
+    Json counters = Json::object();
+    Json gauges = Json::object();
+    Json histograms = Json::object();
+    for (const auto& [name, e] : metrics_) {
+        if (e.counter != nullptr) {
+            counters[name] = e.counter->value();
+        } else if (e.gauge != nullptr) {
+            Json g = Json::object();
+            g["value"] = e.gauge->value();
+            g["high_water"] = e.gauge->high_water();
+            gauges[name] = std::move(g);
+        } else if (e.histogram != nullptr) {
+            const Histogram& h = *e.histogram;
+            Json hj = Json::object();
+            Json bounds = Json::array();
+            for (const double b : h.bounds()) bounds.push_back(b);
+            Json counts = Json::array();
+            for (const std::uint64_t c : h.bucket_counts()) counts.push_back(c);
+            hj["bounds"] = std::move(bounds);
+            hj["bucket_counts"] = std::move(counts);
+            hj["count"] = h.count();
+            hj["sum"] = h.sum();
+            hj["min"] = h.min();
+            hj["max"] = h.max();
+            histograms[name] = std::move(hj);
+        }
+    }
+    Json out = Json::object();
+    out["counters"] = std::move(counters);
+    out["gauges"] = std::move(gauges);
+    out["histograms"] = std::move(histograms);
+    return out;
+}
+
+}  // namespace arpsec::telemetry

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace arpsec::telemetry {
+
+/// Monotonically increasing event count. Handles are stable for the life of
+/// the registry: look the counter up once, keep the reference, and the hot
+/// path pays a single increment.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level that also tracks its high-water mark (e.g. event
+/// queue depth).
+class Gauge {
+public:
+    void set(std::int64_t v) {
+        value_ = v;
+        if (v > high_water_) high_water_ = v;
+    }
+    [[nodiscard]] std::int64_t value() const { return value_; }
+    [[nodiscard]] std::int64_t high_water() const { return high_water_; }
+
+private:
+    std::int64_t value_ = 0;
+    std::int64_t high_water_ = 0;
+};
+
+/// Fixed-bucket histogram with Prometheus "le" semantics: a sample lands in
+/// the first bucket whose upper bound is >= the sample; samples above the
+/// last bound land in the implicit overflow bucket. Bounds are fixed at
+/// creation so observe() is a branchless-ish linear scan over a small array.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double v);
+
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    /// bucket_counts().size() == bounds().size() + 1 (last = overflow).
+    [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+    [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+private:
+    std::vector<double> bounds_;        // ascending
+    std::vector<std::uint64_t> counts_; // bounds_.size() + 1
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Flat snapshot row (for programmatic consumers and tests).
+struct MetricSample {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    std::string name;
+    Kind kind;
+    double value = 0.0;  // counter value / gauge value / histogram count
+};
+
+/// Named metric store shared by one simulation run. Names are dotted paths
+/// ("arp.cache.overwrites"). Re-requesting an existing name of the same
+/// type returns the same instance; requesting it as a different type (or a
+/// histogram with different bounds) throws std::logic_error — silent
+/// aliasing would corrupt both series.
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+    /// Lookup without creation (nullptr when absent or of another type).
+    [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+    [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+    [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+    [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+
+    [[nodiscard]] std::vector<MetricSample> samples() const;
+
+    /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+    /// sorted; the run-artifact "metrics" section.
+    [[nodiscard]] Json snapshot_json() const;
+
+private:
+    struct Entry {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    // std::map: stable handle addresses via unique_ptr and sorted export.
+    std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace arpsec::telemetry

@@ -1,0 +1,30 @@
+#include "telemetry/run_artifact.hpp"
+
+#include <cstdio>
+
+namespace arpsec::telemetry {
+
+void RunArtifact::set_meta(const std::string& key, Json value) {
+    meta_[key] = std::move(value);
+}
+
+Json RunArtifact::to_json() const {
+    Json root = Json::object();
+    root["schema"] = kSchema;
+    root["producer"] = producer_;
+    if (meta_.size() > 0) root["meta"] = meta_;
+    root["runs"] = runs_;
+    return root;
+}
+
+bool RunArtifact::write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string text = to_json().dump(2);
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                    std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    return ok;
+}
+
+}  // namespace arpsec::telemetry

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace arpsec::telemetry {
+
+/// Accumulates one machine-readable artifact per invocation of a tool or
+/// bench: a schema tag, producer name, free-form metadata, and one JSON
+/// object per run (a single scenario for the CLI; a whole sweep for a
+/// bench). Layer-specific serialization (ScenarioConfig/ScenarioResult)
+/// lives with those types; this class only owns the envelope and the file.
+class RunArtifact {
+public:
+    /// Schema identifier stamped into every artifact; consumers should
+    /// check it before reading further.
+    static constexpr const char* kSchema = "arpsec.run-artifact.v1";
+
+    explicit RunArtifact(std::string producer) : producer_(std::move(producer)) {}
+
+    /// Attaches top-level metadata (e.g. sweep axis description).
+    void set_meta(const std::string& key, Json value);
+
+    /// Appends one run object (typically core::run_json(...)).
+    void add_run(Json run) { runs_.push_back(std::move(run)); }
+
+    [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
+
+    [[nodiscard]] Json to_json() const;
+
+    /// Writes the artifact (pretty-printed) to `path`; false on I/O error.
+    bool write(const std::string& path) const;
+
+private:
+    std::string producer_;
+    Json meta_ = Json::object();
+    Json runs_ = Json::array();
+};
+
+}  // namespace arpsec::telemetry

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "telemetry/json.hpp"
+
+namespace arpsec::telemetry {
+
+/// One structured trace record in simulated time. `dur` is meaningful only
+/// for complete (span) events.
+struct TraceEvent {
+    enum class Phase { kComplete, kInstant };
+
+    std::string name;
+    std::string category;
+    Phase phase = Phase::kInstant;
+    common::SimTime ts;
+    common::Duration dur;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Records timestamped spans and instants against the simulated clock and
+/// exports them as Chrome trace_event JSON (load in chrome://tracing or
+/// Perfetto) and/or a JSONL event log (one JSON object per line, for
+/// jq-style pipelines). The caller supplies timestamps explicitly because
+/// simulated time is owned by the scheduler, not the wall clock.
+class EventTracer {
+public:
+    using SpanId = std::size_t;
+
+    /// Zero-duration marker ("attack launched", "alert raised").
+    void instant(std::string name, std::string category, common::SimTime at,
+                 std::vector<std::pair<std::string, std::string>> args = {});
+
+    /// Closed interval recorded in one call.
+    void complete(std::string name, std::string category, common::SimTime start,
+                  common::Duration dur,
+                  std::vector<std::pair<std::string, std::string>> args = {});
+
+    /// Open a span now, close it later with end_span(). Ids stay valid for
+    /// the tracer's lifetime; ending twice is a no-op.
+    SpanId begin_span(std::string name, std::string category, common::SimTime at,
+                      std::vector<std::pair<std::string, std::string>> args = {});
+    void end_span(SpanId id, common::SimTime at);
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+    [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+    /// {"traceEvents": [...], "displayTimeUnit": "ms"}; timestamps in
+    /// microseconds as the trace_event format requires.
+    [[nodiscard]] Json chrome_trace_json() const;
+
+    /// Writes chrome_trace_json() to `path`; false on I/O failure.
+    bool write_chrome_trace(const std::string& path) const;
+
+    /// Writes one compact JSON object per event per line; false on failure.
+    bool write_jsonl(const std::string& path) const;
+
+private:
+    std::vector<TraceEvent> events_;
+    std::vector<bool> open_;  // parallel to events_: span still open?
+};
+
+}  // namespace arpsec::telemetry

@@ -275,6 +275,24 @@ TEST(SummaryTest, Percentiles) {
     EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
 }
 
+// percentile() caches its sorted copy; adds and merges must invalidate it so
+// interleaved add/query sequences stay correct.
+TEST(SummaryTest, PercentileCacheInvalidatedByAddAndMerge) {
+    Summary s;
+    s.add(10.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 20.0);
+
+    s.add(5.0);  // arrives out of order after a cached sort
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 20.0);
+
+    Summary other;
+    other.add(100.0);
+    s.merge(other);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
 TEST(SummaryTest, MergeCombinesSamples) {
     Summary a;
     Summary b;

@@ -4,6 +4,7 @@
 #include "sim/network.hpp"
 #include "sim/node.hpp"
 #include "sim/pcap_tap.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace arpsec::sim {
 namespace {
@@ -246,6 +247,52 @@ TEST(NetworkTest, LossyLinkDropsSomeFrames) {
     EXPECT_GT(net.counters().dropped_frames, 20u);
     EXPECT_LT(net.counters().dropped_frames, 120u);
     EXPECT_EQ(rx.received.size(), 200u - net.counters().dropped_frames);
+}
+
+// Drop accounting must balance exactly (sent == delivered + dropped) and the
+// seeded drop count must sit near the configured loss probability. With
+// p = 0.25 over 2000 frames the binomial std-dev is ~19.4, so +/-100 is a
+// > 5-sigma band: deterministic for any fixed seed, yet tight enough to
+// catch an off-by-rate bug in the loss draw.
+TEST(NetworkTest, DroppedFrameAccountingMatchesLossProbability) {
+    constexpr std::size_t kFrames = 2000;
+    constexpr double kLoss = 0.25;
+
+    Network net(97);
+    telemetry::MetricsRegistry registry;
+    net.attach_metrics(registry);
+    auto& rx = net.emplace_node<RecorderNode>("rx");
+
+    class BurstNode final : public Node {
+    public:
+        explicit BurstNode(std::string name) : Node(std::move(name)) {}
+        void start() override {
+            for (std::size_t i = 0; i < kFrames; ++i) {
+                network().scheduler().schedule_after(Duration::micros(50 * i),
+                                                     [this] { send(0, make_frame()); });
+            }
+        }
+        void on_frame(PortId, const wire::EthernetFrame&,
+                      std::span<const std::uint8_t>) override {}
+    };
+    auto& tx = net.emplace_node<BurstNode>("tx");
+    LinkConfig lossy;
+    lossy.loss_probability = kLoss;
+    net.connect({tx.id(), 0}, {rx.id(), 0}, lossy);
+    net.start_all();
+    net.scheduler().run_all();
+
+    const auto& c = net.counters();
+    EXPECT_EQ(c.frames, kFrames);  // transmit attempts, drops included
+    EXPECT_EQ(rx.received.size() + c.dropped_frames, kFrames);
+
+    const auto expected = static_cast<double>(kFrames) * kLoss;
+    EXPECT_NEAR(static_cast<double>(c.dropped_frames), expected, 100.0);
+
+    // The telemetry counters mirror TrafficCounters one-for-one.
+    EXPECT_EQ(registry.find_counter("sim.net.frames")->value(), c.frames);
+    EXPECT_EQ(registry.find_counter("sim.net.dropped_frames")->value(), c.dropped_frames);
+    EXPECT_EQ(registry.find_counter("sim.net.bytes")->value(), c.bytes);
 }
 
 TEST(NetworkTest, DuplicateConnectThrows) {

@@ -13,10 +13,13 @@
 #include <cstring>
 #include <string>
 
+#include "core/artifact.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "detect/registry.hpp"
 #include "sim/pcap_tap.hpp"
+#include "telemetry/run_artifact.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace arpsec;
 
@@ -35,6 +38,9 @@ struct Args {
     double loss = 0.0;
     std::string pcap_path;
     std::string csv_path;
+    std::string metrics_path;
+    std::string trace_path;
+    std::string trace_jsonl_path;
     bool verbose = false;
     bool list = false;
     bool help = false;
@@ -55,6 +61,9 @@ void usage() {
     std::puts("  --loss P               iid frame loss on access links (default: 0)");
     std::puts("  --pcap FILE            record every frame to a pcap file");
     std::puts("  --csv FILE             append a result row (with header if new)");
+    std::puts("  --metrics-out FILE     write the run artifact (config+result+metrics JSON)");
+    std::puts("  --trace-out FILE       write a Chrome trace_event JSON (chrome://tracing)");
+    std::puts("  --trace-jsonl FILE     write the event log as JSON lines");
     std::puts("  --verbose              print alerts as they fire");
 }
 
@@ -121,6 +130,18 @@ bool parse_args(int argc, char** argv, Args& out) {
             const char* v = need("--csv");
             if (v == nullptr) return false;
             out.csv_path = v;
+        } else if (a == "--metrics-out") {
+            const char* v = need("--metrics-out");
+            if (v == nullptr) return false;
+            out.metrics_path = v;
+        } else if (a == "--trace-out") {
+            const char* v = need("--trace-out");
+            if (v == nullptr) return false;
+            out.trace_path = v;
+        } else if (a == "--trace-jsonl") {
+            const char* v = need("--trace-jsonl");
+            if (v == nullptr) return false;
+            out.trace_jsonl_path = v;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
             return false;
@@ -237,6 +258,10 @@ int main(int argc, char** argv) {
         };
     }
 
+    telemetry::EventTracer tracer;
+    const bool tracing = !args.trace_path.empty() || !args.trace_jsonl_path.empty();
+    if (tracing) runner.set_tracer(&tracer);
+
     std::unique_ptr<sim::PcapTap> tap;
     if (!args.pcap_path.empty()) tap = std::make_unique<sim::PcapTap>(args.pcap_path);
     const auto result = runner.run_with_tap(*scheme, tap.get());
@@ -265,6 +290,31 @@ int main(int argc, char** argv) {
     if (!args.csv_path.empty() && !append_csv(args, result)) {
         std::fprintf(stderr, "failed to write %s\n", args.csv_path.c_str());
         return 1;
+    }
+    if (!args.metrics_path.empty()) {
+        telemetry::RunArtifact artifact("arpsec_sim");
+        artifact.add_run(core::run_json(result, &runner.metrics()));
+        if (!artifact.write(args.metrics_path)) {
+            std::fprintf(stderr, "failed to write %s\n", args.metrics_path.c_str());
+            return 1;
+        }
+        std::printf("  metrics        : %s\n", args.metrics_path.c_str());
+    }
+    if (!args.trace_path.empty()) {
+        if (!tracer.write_chrome_trace(args.trace_path)) {
+            std::fprintf(stderr, "failed to write %s\n", args.trace_path.c_str());
+            return 1;
+        }
+        std::printf("  trace          : %zu events -> %s\n", tracer.size(),
+                    args.trace_path.c_str());
+    }
+    if (!args.trace_jsonl_path.empty()) {
+        if (!tracer.write_jsonl(args.trace_jsonl_path)) {
+            std::fprintf(stderr, "failed to write %s\n", args.trace_jsonl_path.c_str());
+            return 1;
+        }
+        std::printf("  trace (jsonl)  : %zu events -> %s\n", tracer.size(),
+                    args.trace_jsonl_path.c_str());
     }
     return result.attack_succeeded ? 3 : 0;
 }
