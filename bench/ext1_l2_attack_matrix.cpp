@@ -167,7 +167,7 @@ Outcome run_case(L2Attack attack, Protection protection) {
             char buf[96];
             std::snprintf(buf, sizeof(buf), "victim delivery %.0f%%, sniffed %llu",
                           ratio * 100.0,
-                          (unsigned long long)attacker.stats().frames_sniffed);
+                          static_cast<unsigned long long>(attacker.stats().frames_sniffed));
             out.evidence = buf;
             break;
         }

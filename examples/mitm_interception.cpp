@@ -43,8 +43,8 @@ void report(const char* label, const core::ScenarioResult& r, std::size_t pcap_f
     std::printf("victim cache at end : %s\n",
                 r.victim_poisoned_at_end ? "POISONED (gateway -> attacker MAC)" : "clean");
     std::printf("scheme alerts       : %llu true positives, %llu false positives\n",
-                (unsigned long long)r.alerts.true_positives,
-                (unsigned long long)r.alerts.false_positives);
+                static_cast<unsigned long long>(r.alerts.true_positives),
+                static_cast<unsigned long long>(r.alerts.false_positives));
     std::printf("capture             : %zu frames -> %s\n", pcap_frames, pcap_path);
 }
 

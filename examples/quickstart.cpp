@@ -38,20 +38,20 @@ int main() {
     std::printf("\n--- quickstart result ---\n");
     std::printf("scheme              : %s\n", result.scheme_name.c_str());
     std::printf("frames on wire      : %llu (%llu ARP)\n",
-                (unsigned long long)result.total_frames, (unsigned long long)result.arp_frames);
+                static_cast<unsigned long long>(result.total_frames), static_cast<unsigned long long>(result.arp_frames));
     std::printf("benign window       : %llu sent, %.1f%% delivered, %.1f%% intercepted\n",
-                (unsigned long long)result.benign_window.sent,
+                static_cast<unsigned long long>(result.benign_window.sent),
                 result.benign_window.delivery_ratio() * 100.0,
                 result.benign_window.interception_ratio() * 100.0);
     std::printf("attack window       : %llu sent, %.1f%% delivered, %.1f%% intercepted\n",
-                (unsigned long long)result.attack_window.sent,
+                static_cast<unsigned long long>(result.attack_window.sent),
                 result.attack_window.delivery_ratio() * 100.0,
                 result.attack_window.interception_ratio() * 100.0);
     std::printf("victim poisoned     : %s\n", result.victim_poisoned_at_end ? "yes" : "no");
     std::printf("attack succeeded    : %s\n", result.attack_succeeded ? "yes" : "no");
     std::printf("alerts              : %llu true positives, %llu false positives\n",
-                (unsigned long long)result.alerts.true_positives,
-                (unsigned long long)result.alerts.false_positives);
+                static_cast<unsigned long long>(result.alerts.true_positives),
+                static_cast<unsigned long long>(result.alerts.false_positives));
     if (result.alerts.detection_latency) {
         std::printf("detection latency   : %s\n",
                     result.alerts.detection_latency->to_string().c_str());

@@ -102,8 +102,8 @@ void narrate(Lab& lab, const char* label) {
     }
     std::printf("  outcome: %s (%d/5 echoed, %llu RSTs injected, %llu frames intercepted)\n",
                 reset ? "SESSION KILLED" : "session healthy", echoed,
-                (unsigned long long)lab.attacker->stats().tcp_rsts_injected,
-                (unsigned long long)lab.attacker->stats().frames_intercepted);
+                static_cast<unsigned long long>(lab.attacker->stats().tcp_rsts_injected),
+                static_cast<unsigned long long>(lab.attacker->stats().frames_intercepted));
 }
 
 }  // namespace

@@ -12,7 +12,7 @@ namespace arpsec::common {
 /// failures in this codebase are diagnostics, not control flow a caller
 /// dispatches on.
 template <class T>
-class Expected {
+class [[nodiscard]] Expected {
 public:
     Expected(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
 
@@ -36,13 +36,20 @@ public:
         return std::get<T>(std::move(v_));
     }
 
-    [[nodiscard]] const std::string& error() const {
+    [[nodiscard]] const std::string& error() const& {
         assert(!ok());
         return std::get<Err>(v_).message;
     }
+    [[nodiscard]] std::string&& error() && {
+        assert(!ok());
+        return std::move(std::get<Err>(v_).message);
+    }
 
     const T* operator->() const { return &value(); }
-    const T& operator*() const { return value(); }
+    T* operator->() { return &value(); }
+    const T& operator*() const& { return value(); }
+    T& operator*() & { return value(); }
+    T&& operator*() && { return std::move(*this).value(); }
 
 private:
     struct Err {

@@ -194,7 +194,7 @@ void ScenarioRunner::schedule_timeline() {
         if (config_.host_count < 2) break;
         const std::size_t leave_idx =
             config_.host_count - 1 - (k % (config_.host_count - 1));
-        const Duration leave_at = Duration::seconds(5) + Duration::seconds(8) * (std::int64_t)k;
+        const Duration leave_at = Duration::seconds(5) + Duration::seconds(8) * static_cast<std::int64_t>(k);
         sched.schedule_at(t0 + leave_at, [this, leave_idx] {
             hosts_[leave_idx]->dhcp_release();
             // Power down once the RELEASE datagram has left the NIC.

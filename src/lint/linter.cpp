@@ -1,0 +1,491 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace arpsec::lint {
+
+namespace {
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+    std::vector<std::string_view> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string_view::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+/// True when `needle` occurs in `line` as a whole token (no identifier
+/// character on either side). `::`-qualified needles match only the full
+/// qualified spelling.
+bool contains_token(std::string_view line, std::string_view needle) {
+    std::size_t pos = 0;
+    while ((pos = line.find(needle, pos)) != std::string_view::npos) {
+        const bool left_ok =
+            pos == 0 || !ident_char(line[pos - 1]) || !ident_char(needle.front());
+        const std::size_t end = pos + needle.size();
+        const bool right_ok =
+            end >= line.size() || !ident_char(line[end]) || !ident_char(needle.back());
+        if (left_ok && right_ok) return true;
+        pos += 1;
+    }
+    return false;
+}
+
+/// Identifiers that leak wall-clock time or global PRNG state into what must
+/// be a deterministic simulation. Only common/time.* may touch the host
+/// clock.
+constexpr std::array<std::string_view, 14> kDeterminismBans = {
+    "rand",
+    "srand",
+    "drand48",
+    "random_device",
+    "mt19937",
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+    "gettimeofday",
+    "clock_gettime",
+    "localtime",
+    "gmtime",
+    "strftime",
+    "std::time",
+};
+
+/// Parser entry points returning common::Expected whose result must never be
+/// discarded: a dropped parse failure silently corrupts reproduced figures.
+constexpr std::array<std::string_view, 9> kExpectedEntryPoints = {
+    "ArpPacket::parse",
+    "EthernetFrame::parse",
+    "Ipv4Packet::parse",
+    "UdpDatagram::parse",
+    "TcpSegment::parse",
+    "DhcpMessage::parse",
+    "MacAddress::parse",
+    "Ipv4Address::parse",
+    "Json::parse",
+};
+
+/// Module dependency closure mirroring src/*/CMakeLists.txt link graphs.
+/// A header in src/<key>/ may only include headers from the listed modules.
+const std::map<std::string, std::set<std::string>, std::less<>>& layering() {
+    static const std::map<std::string, std::set<std::string>, std::less<>> kAllowed = {
+        {"common", {"common"}},
+        {"telemetry", {"telemetry", "common"}},
+        {"wire", {"wire", "common"}},
+        {"crypto", {"crypto", "wire", "common"}},
+        {"sim", {"sim", "telemetry", "wire", "common"}},
+        {"arp", {"arp", "telemetry", "wire", "common"}},
+        {"l2", {"l2", "sim", "telemetry", "wire", "common"}},
+        {"host", {"host", "arp", "sim", "telemetry", "wire", "common"}},
+        {"attack", {"attack", "host", "arp", "sim", "telemetry", "wire", "common"}},
+        {"detect",
+         {"detect", "host", "l2", "arp", "sim", "crypto", "telemetry", "wire", "common"}},
+        {"core",
+         {"core", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry", "wire",
+          "common"}},
+        {"lint", {"lint", "telemetry", "common"}},
+    };
+    return kAllowed;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Extracts the rule ids named by lint:allow(...) markers on `line` (comment
+/// text included — callers pass the original, unstripped line).
+std::set<std::string> allow_markers(std::string_view line) {
+    std::set<std::string> out;
+    std::size_t pos = 0;
+    while ((pos = line.find("lint:allow(", pos)) != std::string_view::npos) {
+        const std::size_t open = pos + std::string_view{"lint:allow("}.size();
+        const std::size_t close = line.find(')', open);
+        if (close == std::string_view::npos) break;
+        std::string inner{line.substr(open, close - open)};
+        std::stringstream ss{inner};
+        std::string id;
+        while (std::getline(ss, id, ',')) {
+            const std::string_view t = trim(id);
+            if (!t.empty()) out.emplace(t);
+        }
+        pos = close + 1;
+    }
+    return out;
+}
+
+/// Index of the matching close paren for the open paren at `open`, or npos.
+std::size_t match_paren(std::string_view line, std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < line.size(); ++i) {
+        if (line[i] == '(') ++depth;
+        if (line[i] == ')' && --depth == 0) return i;
+    }
+    return std::string_view::npos;
+}
+
+struct FileContext {
+    std::string_view path;
+    std::vector<std::string_view> raw_lines;   // original text, per line
+    std::vector<std::string_view> code_lines;  // comments/strings blanked
+    bool is_header = false;
+    bool in_src = false;
+    std::string module;  // "" when not under src/<module>/
+};
+
+void check_determinism(const FileContext& ctx, std::vector<Violation>& out) {
+    if (ctx.path.find("common/time.") != std::string_view::npos) return;
+    for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+        for (const auto ban : kDeterminismBans) {
+            if (!contains_token(ctx.code_lines[i], ban)) continue;
+            out.push_back({std::string{ctx.path}, i + 1, "sim-determinism",
+                           "'" + std::string{ban} +
+                               "' leaks wall-clock/global randomness into sim code; use "
+                               "common::SimTime / common::Rng (only common/time.* may touch "
+                               "the host clock)",
+                           std::string{trim(ctx.raw_lines[i])}});
+        }
+    }
+}
+
+void check_discarded_expected(const FileContext& ctx, std::vector<Violation>& out) {
+    for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+        const std::string_view code = ctx.code_lines[i];
+        const std::string_view trimmed = trim(code);
+        for (const auto entry : kExpectedEntryPoints) {
+            const std::size_t pos = trimmed.find(entry);
+            if (pos == std::string_view::npos) continue;
+            // The call must open the statement: walk back over namespace
+            // qualifiers and confirm nothing (assignment, return, argument
+            // context) consumes the result.
+            std::size_t start = pos;
+            while (start > 0 && (ident_char(trimmed[start - 1]) || trimmed[start - 1] == ':')) {
+                --start;
+            }
+            if (start != 0) continue;
+            const std::size_t open = trimmed.find('(', pos + entry.size());
+            if (open != pos + entry.size()) continue;
+            const std::size_t close = match_paren(trimmed, open);
+            if (close == std::string_view::npos) continue;
+            if (trim(trimmed.substr(close + 1)) != ";") continue;
+            out.push_back({std::string{ctx.path}, i + 1, "discarded-expected",
+                           "result of '" + std::string{entry} +
+                               "' (an Expected) is discarded; a dropped parse failure "
+                               "silently corrupts results",
+                           std::string{trim(ctx.raw_lines[i])}});
+        }
+    }
+}
+
+void check_naked_new(const FileContext& ctx, std::vector<Violation>& out) {
+    for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+        const std::string_view code = ctx.code_lines[i];
+        const char* what = nullptr;
+        if (contains_token(code, "new")) what = "new";
+        // `free` is deliberately absent: the repo has legitimate methods named
+        // free() (crypto::CostModel::free), and malloc/calloc/realloc already
+        // flag the allocating side of any manual-management pair.
+        for (const auto* fn : {"malloc", "calloc", "realloc"}) {
+            if (contains_token(code, std::string{fn} + "(")) what = fn;
+        }
+        if (what == nullptr) continue;
+        out.push_back({std::string{ctx.path}, i + 1, "naked-new",
+                       "raw allocation ('" + std::string{what} +
+                           "'); use std::make_unique/containers so ownership is typed",
+                       std::string{trim(ctx.raw_lines[i])}});
+    }
+}
+
+void check_assert_in_parser(const FileContext& ctx, std::vector<Violation>& out) {
+    if (ctx.path.find("src/wire/") == std::string_view::npos) return;
+    for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+        if (!contains_token(ctx.code_lines[i], "assert")) continue;
+        out.push_back({std::string{ctx.path}, i + 1, "assert-in-parser",
+                       "assert() compiles out of release builds; wire parsers must reject "
+                       "bad input via Expected::failure",
+                       std::string{trim(ctx.raw_lines[i])}});
+    }
+}
+
+void check_pragma_once(const FileContext& ctx, std::vector<Violation>& out) {
+    if (!ctx.is_header) return;
+    for (const auto line : ctx.code_lines) {
+        if (trim(line) == "#pragma once") return;
+    }
+    out.push_back({std::string{ctx.path}, 1, "pragma-once",
+                   "header is missing '#pragma once'", ""});
+}
+
+void check_include_layering(const FileContext& ctx, std::vector<Violation>& out) {
+    if (!ctx.in_src || ctx.module.empty()) return;
+    const auto it = layering().find(ctx.module);
+    if (it == layering().end()) return;
+    // Include paths live inside quotes, which the sanitizer blanks, so this
+    // rule reads the raw lines.
+    for (std::size_t i = 0; i < ctx.raw_lines.size(); ++i) {
+        const std::string_view trimmed = trim(ctx.raw_lines[i]);
+        if (!starts_with(trimmed, "#include \"")) continue;
+        const std::size_t open = trimmed.find('"');
+        const std::size_t close = trimmed.find('"', open + 1);
+        if (close == std::string_view::npos) continue;
+        const std::string_view inc = trimmed.substr(open + 1, close - open - 1);
+        const std::size_t slash = inc.find('/');
+        if (slash == std::string_view::npos) continue;
+        const std::string_view target = inc.substr(0, slash);
+        if (layering().find(target) == layering().end()) continue;  // not a module path
+        if (it->second.count(std::string{target}) != 0) continue;
+        out.push_back({std::string{ctx.path}, i + 1, "include-layering",
+                       "module '" + ctx.module + "' may not include '" + std::string{target} +
+                           "/' (layering: see src/" + ctx.module + "/CMakeLists.txt)",
+                       std::string{trim(ctx.raw_lines[i])}});
+    }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+    static const std::vector<RuleInfo> kRules = {
+        {"sim-determinism",
+         "no wall-clock / global PRNG identifiers outside common/time.*"},
+        {"discarded-expected",
+         "results of Expected-returning parser entry points must be consumed"},
+        {"naked-new", "no raw new/malloc; ownership must be typed"},
+        {"assert-in-parser",
+         "src/wire/ parsers must validate via Expected, not assert()"},
+        {"pragma-once", "every header starts with #pragma once"},
+        {"include-layering",
+         "src/ modules may only include modules they link against"},
+    };
+    return kRules;
+}
+
+std::string strip_comments_and_strings(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+    State state = State::kCode;
+    std::string raw_delim;  // for raw strings: the )delim" terminator
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLineComment;
+                    out += "  ";
+                    ++i;
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    out += "  ";
+                    ++i;
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || !ident_char(text[i - 1]))) {
+                    const std::size_t open = text.find('(', i + 2);
+                    if (open == std::string_view::npos) {
+                        out += c;
+                        break;
+                    }
+                    raw_delim = ")" + std::string{text.substr(i + 2, open - (i + 2))} + "\"";
+                    state = State::kRawString;
+                    out += "R\"";
+                    out.append(open - (i + 2) + 1, ' ');
+                    i = open;
+                } else if (c == '"') {
+                    state = State::kString;
+                    out += c;
+                } else if (c == '\'') {
+                    state = State::kChar;
+                    out += c;
+                } else {
+                    out += c;
+                }
+                break;
+            case State::kLineComment:
+                if (c == '\n') {
+                    state = State::kCode;
+                    out += c;
+                } else {
+                    out += ' ';
+                }
+                break;
+            case State::kBlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    out += "  ";
+                    ++i;
+                } else {
+                    out += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::kString:
+                if (c == '\\' && next != '\0') {
+                    out += "  ";
+                    ++i;
+                } else if (c == '"') {
+                    state = State::kCode;
+                    out += c;
+                } else {
+                    out += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::kChar:
+                if (c == '\\' && next != '\0') {
+                    out += "  ";
+                    ++i;
+                } else if (c == '\'') {
+                    state = State::kCode;
+                    out += c;
+                } else {
+                    out += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::kRawString:
+                if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+                    state = State::kCode;
+                    out.append(raw_delim.size(), ' ');
+                    out.back() = '"';
+                    i += raw_delim.size() - 1;
+                } else {
+                    out += c == '\n' ? '\n' : ' ';
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::vector<Violation> Linter::lint_source(std::string_view path,
+                                           std::string_view text) const {
+    const std::string code = strip_comments_and_strings(text);
+
+    FileContext ctx;
+    ctx.path = path;
+    ctx.raw_lines = split_lines(text);
+    ctx.code_lines = split_lines(code);
+    ctx.is_header = path.size() >= 4 && path.substr(path.size() - 4) == ".hpp";
+    ctx.in_src = starts_with(path, "src/") || path.find("/src/") != std::string_view::npos;
+    if (ctx.in_src) {
+        const std::size_t src = path.rfind("src/");
+        const std::string_view after = path.substr(src + 4);
+        const std::size_t slash = after.find('/');
+        if (slash != std::string_view::npos) ctx.module = std::string{after.substr(0, slash)};
+    }
+
+    std::vector<Violation> found;
+    check_determinism(ctx, found);
+    check_discarded_expected(ctx, found);
+    check_naked_new(ctx, found);
+    check_assert_in_parser(ctx, found);
+    check_pragma_once(ctx, found);
+    check_include_layering(ctx, found);
+
+    // Apply lint:allow(<rule>) markers from the flagged line or the line
+    // above (markers live in comments, so consult the raw text).
+    std::vector<Violation> kept;
+    for (auto& v : found) {
+        std::set<std::string> allowed;
+        if (v.line >= 1 && v.line <= ctx.raw_lines.size()) {
+            allowed = allow_markers(ctx.raw_lines[v.line - 1]);
+            if (v.line >= 2) {
+                for (auto& id : allow_markers(ctx.raw_lines[v.line - 2])) allowed.insert(id);
+            }
+        }
+        if (allowed.count(v.rule) != 0 || allowed.count("*") != 0) continue;
+        kept.push_back(std::move(v));
+    }
+    std::sort(kept.begin(), kept.end(), [](const Violation& a, const Violation& b) {
+        return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+    });
+    return kept;
+}
+
+std::vector<Violation> Linter::lint_tree(const std::string& root) {
+    namespace fs = std::filesystem;
+    files_scanned_ = 0;
+    std::vector<fs::path> files;
+    for (const char* dir : {"src", "tests", "tools", "bench", "examples"}) {
+        const fs::path base = fs::path{root} / dir;
+        if (!fs::exists(base)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file()) continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Violation> all;
+    for (const auto& file : files) {
+        std::ifstream in{file, std::ios::binary};
+        if (!in) continue;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        ++files_scanned_;
+        const std::string rel = fs::relative(file, root).generic_string();
+        auto found = lint_source(rel, buf.str());
+        all.insert(all.end(), std::make_move_iterator(found.begin()),
+                   std::make_move_iterator(found.end()));
+    }
+    return all;
+}
+
+telemetry::Json Linter::report(const std::vector<Violation>& violations,
+                               std::string_view root, std::size_t files_scanned) {
+    telemetry::Json doc = telemetry::Json::object();
+    doc["schema"] = "arpsec.lint-report.v1";
+    doc["root"] = std::string{root};
+    doc["files_scanned"] = static_cast<std::int64_t>(files_scanned);
+    doc["violation_count"] = static_cast<std::int64_t>(violations.size());
+
+    telemetry::Json counts = telemetry::Json::object();
+    for (const auto& info : rule_catalog()) {
+        std::int64_t n = 0;
+        for (const auto& v : violations) {
+            if (v.rule == info.id) ++n;
+        }
+        counts[std::string{info.id}] = n;
+    }
+    doc["counts"] = std::move(counts);
+
+    telemetry::Json list = telemetry::Json::array();
+    for (const auto& v : violations) {
+        telemetry::Json item = telemetry::Json::object();
+        item["file"] = v.file;
+        item["line"] = static_cast<std::int64_t>(v.line);
+        item["rule"] = v.rule;
+        item["message"] = v.message;
+        item["snippet"] = v.snippet;
+        list.push_back(std::move(item));
+    }
+    doc["violations"] = std::move(list);
+    return doc;
+}
+
+}  // namespace arpsec::lint

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace arpsec::lint {
+
+/// One rule violation at a specific source location.
+struct Violation {
+    std::string file;     // repo-relative path, forward slashes
+    std::size_t line = 0; // 1-based
+    std::string rule;     // rule id, e.g. "sim-determinism"
+    std::string message;  // human-readable explanation
+    std::string snippet;  // the offending source line, trimmed
+};
+
+/// Rule metadata for --list-rules and the report envelope.
+struct RuleInfo {
+    std::string_view id;
+    std::string_view summary;
+};
+
+/// Every rule the engine enforces, in report order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Repo-native static analysis: a fast textual scanner enforcing the
+/// invariants the compiler cannot see (sim determinism, parser hygiene,
+/// include layering). Rules operate on comment- and string-stripped source
+/// so prose never trips a check; `// lint:allow(<rule>)` on the offending
+/// line or the line above suppresses a finding.
+class Linter {
+public:
+    /// Lints one translation unit given as text. `path` is the repo-relative
+    /// path (e.g. "src/wire/arp_packet.cpp") and selects which rules apply.
+    [[nodiscard]] std::vector<Violation> lint_source(std::string_view path,
+                                                     std::string_view text) const;
+
+    /// Walks src/, tests/, tools/, bench/, and examples/ under `root` and
+    /// lints every .cpp/.hpp file, in sorted path order.
+    [[nodiscard]] std::vector<Violation> lint_tree(const std::string& root);
+
+    /// Number of files visited by the last lint_tree() call.
+    [[nodiscard]] std::size_t files_scanned() const { return files_scanned_; }
+
+    /// Builds the arpsec.lint-report.v1 JSON envelope.
+    [[nodiscard]] static telemetry::Json report(const std::vector<Violation>& violations,
+                                                std::string_view root,
+                                                std::size_t files_scanned);
+
+private:
+    std::size_t files_scanned_ = 0;
+};
+
+/// Replaces comment bodies and string/char literal contents with spaces while
+/// preserving line structure, so rules match code, not prose. Exposed for
+/// tests.
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view text);
+
+}  // namespace arpsec::lint

@@ -275,8 +275,8 @@ TEST_P(PolicyInvariantTest, StatsAreConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(AllProfiles, PolicyInvariantTest,
                          ::testing::ValuesIn(CachePolicy::all_profiles()),
-                         [](const auto& info) {
-                             std::string name = info.param.name;
+                         [](const auto& param_info) {
+                             std::string name = param_info.param.name;
                              for (char& c : name) {
                                  if (c == '-' || c == '.') c = '_';
                              }

@@ -154,7 +154,8 @@ TEST(RngTest, ExponentialMeanRoughlyCorrect) {
     double acc = 0;
     const int n = 20'000;
     for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.next_exponential(mean).count());
-    EXPECT_NEAR(acc / n, static_cast<double>(mean.count()), 0.05 * mean.count());
+    EXPECT_NEAR(acc / n, static_cast<double>(mean.count()),
+                0.05 * static_cast<double>(mean.count()));
 }
 
 // ---------------------------------------------------------------------------
@@ -206,6 +207,27 @@ TEST(ExpectedTest, ArrowAccessesMembers) {
     };
     Expected<P> e = P{};
     EXPECT_EQ(e->x, 7);
+}
+
+TEST(ExpectedTest, MutableAccessWritesThrough) {
+    struct P {
+        int x = 7;
+    };
+    Expected<P> e = P{};
+    e->x = 8;
+    EXPECT_EQ(e->x, 8);
+    (*e).x = 9;
+    EXPECT_EQ(e.value().x, 9);
+}
+
+TEST(ExpectedTest, RvalueAccessMoves) {
+    Expected<std::string> e = std::string{"payload"};
+    const std::string moved = *std::move(e);
+    EXPECT_EQ(moved, "payload");
+
+    auto make_err = [] { return Expected<int>::failure("gone"); };
+    const std::string err = make_err().error();
+    EXPECT_EQ(err, "gone");
 }
 
 // ---------------------------------------------------------------------------

@@ -108,8 +108,8 @@ std::vector<std::string> scheme_names() {
 }  // namespace
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweepTest, ::testing::ValuesIn(scheme_names()),
-                         [](const auto& info) {
-                             std::string n = info.param;
+                         [](const auto& param_info) {
+                             std::string n = param_info.param;
                              for (char& c : n) {
                                  if (c == '-' || c == '+') c = '_';
                              }

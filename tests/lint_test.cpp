@@ -1,0 +1,289 @@
+#include "lint/linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace arpsec::lint {
+namespace {
+
+std::vector<Violation> run(std::string_view path, std::string_view text) {
+    return Linter{}.lint_source(path, text);
+}
+
+bool has_rule(const std::vector<Violation>& vs, std::string_view rule) {
+    for (const auto& v : vs) {
+        if (v.rule == rule) return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// sim-determinism
+// ---------------------------------------------------------------------------
+
+TEST(LintDeterminismTest, FlagsWallClockOutsideCommonTime) {
+    const auto vs = run("src/sim/bad.cpp",
+                        "auto now = std::chrono::system_clock::now();\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "sim-determinism");
+    EXPECT_EQ(vs[0].line, 1u);
+    EXPECT_EQ(vs[0].file, "src/sim/bad.cpp");
+}
+
+TEST(LintDeterminismTest, FlagsGlobalPrng) {
+    EXPECT_TRUE(has_rule(run("src/detect/bad.cpp", "int x = std::rand();\n"),
+                         "sim-determinism"));
+    EXPECT_TRUE(has_rule(run("src/host/bad.cpp", "std::mt19937 gen{42};\n"),
+                         "sim-determinism"));
+}
+
+TEST(LintDeterminismTest, AllowsCommonTimeItself) {
+    EXPECT_TRUE(run("src/common/time.cpp",
+                    "auto t = std::chrono::steady_clock::now();\n")
+                    .empty());
+}
+
+TEST(LintDeterminismTest, IgnoresCommentsAndStrings) {
+    EXPECT_TRUE(run("src/sim/ok.cpp",
+                    "// system_clock is banned here\n"
+                    "const char* msg = \"uses system_clock\";\n")
+                    .empty());
+}
+
+TEST(LintDeterminismTest, TokenBoundariesRespected) {
+    // "strand" contains "rand" but is not the banned token.
+    EXPECT_TRUE(run("src/sim/ok.cpp", "int strand = 3; use(strand);\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// discarded-expected
+// ---------------------------------------------------------------------------
+
+TEST(LintDiscardedExpectedTest, FlagsStatementLevelDiscard) {
+    const auto vs = run("src/host/bad.cpp", "    ArpPacket::parse(data);\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "discarded-expected");
+}
+
+TEST(LintDiscardedExpectedTest, FlagsQualifiedDiscard) {
+    EXPECT_TRUE(has_rule(run("tests/bad.cpp", "wire::DhcpMessage::parse(buf);\n"),
+                         "discarded-expected"));
+}
+
+TEST(LintDiscardedExpectedTest, AllowsConsumedResults) {
+    EXPECT_TRUE(run("src/host/ok.cpp",
+                    "auto p = ArpPacket::parse(data);\n"
+                    "if (!Ipv4Packet::parse(raw).ok()) return;\n"
+                    "EXPECT_FALSE(TcpSegment::parse(seg).ok());\n"
+                    "return MacAddress::parse(text);\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
+// naked-new
+// ---------------------------------------------------------------------------
+
+TEST(LintNakedNewTest, FlagsNewAndMalloc) {
+    EXPECT_TRUE(has_rule(run("src/l2/bad.cpp", "auto* s = new Switch{};\n"),
+                         "naked-new"));
+    EXPECT_TRUE(has_rule(run("src/l2/bad.cpp", "void* p = malloc(64);\n"),
+                         "naked-new"));
+}
+
+TEST(LintNakedNewTest, IgnoresProseAndIdentifiers) {
+    EXPECT_TRUE(run("src/arp/ok.cpp",
+                    "// a new entry was created\n"
+                    "int new_count = renew(news);\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
+// assert-in-parser
+// ---------------------------------------------------------------------------
+
+TEST(LintAssertInParserTest, FlagsAssertOnlyInWire) {
+    const auto vs = run("src/wire/bad_parser.cpp", "    assert(len >= 4);\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "assert-in-parser");
+    // The same line outside src/wire/ is fine (Expected itself asserts).
+    EXPECT_TRUE(run("src/common/expected_like.cpp", "assert(len >= 4);\n").empty());
+}
+
+TEST(LintAssertInParserTest, StaticAssertIsFine) {
+    EXPECT_TRUE(run("src/wire/ok.cpp", "static_assert(kSize == 28);\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+// ---------------------------------------------------------------------------
+
+TEST(LintPragmaOnceTest, FlagsMissingGuard) {
+    const auto vs = run("src/arp/naked.hpp", "struct S {};\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "pragma-once");
+    EXPECT_EQ(vs[0].line, 1u);
+}
+
+TEST(LintPragmaOnceTest, GuardedHeaderAndSourcesPass) {
+    EXPECT_TRUE(run("src/arp/ok.hpp", "#pragma once\nstruct S {};\n").empty());
+    EXPECT_TRUE(run("src/arp/ok.cpp", "struct S {};\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// include-layering
+// ---------------------------------------------------------------------------
+
+TEST(LintLayeringTest, FlagsUpwardInclude) {
+    const auto vs =
+        run("src/common/bad.hpp", "#pragma once\n#include \"sim/node.hpp\"\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "include-layering");
+    EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(LintLayeringTest, TelemetryDependsOnlyOnCommon) {
+    EXPECT_TRUE(has_rule(run("src/telemetry/bad.cpp",
+                             "#include \"wire/ethernet.hpp\"\n"),
+                         "include-layering"));
+    EXPECT_TRUE(run("src/telemetry/ok.cpp",
+                    "#include \"common/time.hpp\"\n"
+                    "#include \"telemetry/json.hpp\"\n")
+                    .empty());
+}
+
+TEST(LintLayeringTest, DownwardAndExternalIncludesPass) {
+    EXPECT_TRUE(run("src/l2/ok.cpp",
+                    "#include \"sim/network.hpp\"\n"
+                    "#include <vector>\n")
+                    .empty());
+    // tests/ may include anything.
+    EXPECT_TRUE(run("tests/ok.cpp", "#include \"core/runner.hpp\"\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// lint:allow escape hatch
+// ---------------------------------------------------------------------------
+
+TEST(LintAllowTest, SameLineMarkerSuppresses) {
+    EXPECT_TRUE(run("src/sim/ok.cpp",
+                    "auto t = std::chrono::system_clock::now();  "
+                    "// lint:allow(sim-determinism)\n")
+                    .empty());
+}
+
+TEST(LintAllowTest, PreviousLineMarkerSuppresses) {
+    EXPECT_TRUE(run("src/l2/ok.cpp",
+                    "// lint:allow(naked-new): arena owns this\n"
+                    "auto* s = new Switch{};\n")
+                    .empty());
+}
+
+TEST(LintAllowTest, WrongRuleIdDoesNotSuppress) {
+    EXPECT_TRUE(has_rule(run("src/l2/bad.cpp",
+                             "auto* s = new Switch{};  // lint:allow(pragma-once)\n"),
+                         "naked-new"));
+}
+
+// ---------------------------------------------------------------------------
+// clean file, catalog, report shape
+// ---------------------------------------------------------------------------
+
+TEST(LintReportTest, CleanFileProducesNoViolations) {
+    EXPECT_TRUE(run("src/arp/clean.cpp",
+                    "#include \"arp/cache.hpp\"\n"
+                    "\n"
+                    "namespace arpsec::arp {\n"
+                    "int answer() { return 42; }\n"
+                    "}  // namespace arpsec::arp\n")
+                    .empty());
+}
+
+TEST(LintReportTest, CatalogCoversEveryEmittedRule) {
+    const auto& catalog = rule_catalog();
+    EXPECT_EQ(catalog.size(), 6u);
+    const auto vs = run("src/wire/bad.hpp",
+                        "#include \"core/runner.hpp\"\n"
+                        "auto t = std::chrono::system_clock::now();\n"
+                        "auto* p = new int;\n"
+                        "assert(true);\n"
+                        "ArpPacket::parse(d);\n");
+    for (const auto& v : vs) {
+        bool known = false;
+        for (const auto& info : catalog) {
+            if (info.id == v.rule) known = true;
+        }
+        EXPECT_TRUE(known) << "unknown rule id: " << v.rule;
+    }
+    // Every rule fires on this deliberately terrible header.
+    for (const auto& info : catalog) {
+        EXPECT_TRUE(has_rule(vs, info.id)) << "rule did not fire: " << info.id;
+    }
+}
+
+TEST(LintReportTest, JsonReportShape) {
+    const auto vs = run("src/sim/bad.cpp", "int x = std::rand();\n");
+    ASSERT_EQ(vs.size(), 1u);
+    const telemetry::Json report = Linter::report(vs, "/repo", 151);
+
+    // Round-trips through the telemetry JSON parser.
+    const auto parsed = telemetry::Json::parse(report.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+
+    EXPECT_EQ(parsed->find("schema")->as_string(), "arpsec.lint-report.v1");
+    EXPECT_EQ(parsed->find("root")->as_string(), "/repo");
+    EXPECT_EQ(parsed->find("files_scanned")->as_int(), 151);
+    EXPECT_EQ(parsed->find("violation_count")->as_int(), 1);
+
+    const auto* counts = parsed->find("counts");
+    ASSERT_NE(counts, nullptr);
+    EXPECT_EQ(counts->find("sim-determinism")->as_int(), 1);
+    EXPECT_EQ(counts->find("naked-new")->as_int(), 0);
+
+    const auto* list = parsed->find("violations");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 1u);
+    const auto& item = list->at(0);
+    EXPECT_EQ(item.find("file")->as_string(), "src/sim/bad.cpp");
+    EXPECT_EQ(item.find("line")->as_int(), 1);
+    EXPECT_EQ(item.find("rule")->as_string(), "sim-determinism");
+    EXPECT_FALSE(item.find("message")->as_string().empty());
+    EXPECT_EQ(item.find("snippet")->as_string(), "int x = std::rand();");
+}
+
+// ---------------------------------------------------------------------------
+// comment/string stripping
+// ---------------------------------------------------------------------------
+
+TEST(LintStripTest, PreservesLineStructure) {
+    const std::string in =
+        "int a; // trailing\n"
+        "/* block\n"
+        "   spanning */ int b;\n"
+        "const char* s = \"new malloc(1)\";\n";
+    const std::string out = strip_comments_and_strings(in);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              std::count(in.begin(), in.end(), '\n'));
+    EXPECT_EQ(out.find("trailing"), std::string::npos);
+    EXPECT_EQ(out.find("spanning"), std::string::npos);
+    EXPECT_EQ(out.find("malloc"), std::string::npos);
+    EXPECT_NE(out.find("int a;"), std::string::npos);
+    EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintStripTest, HandlesEscapesAndRawStrings) {
+    const std::string out = strip_comments_and_strings(
+        "auto s = \"escaped \\\" quote new\";\n"
+        "auto r = R\"(raw new malloc())\";\n"
+        "int after = 1;\n");
+    EXPECT_EQ(out.find("new"), std::string::npos);
+    EXPECT_EQ(out.find("malloc"), std::string::npos);
+    EXPECT_NE(out.find("int after = 1;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arpsec::lint

@@ -1,0 +1,99 @@
+// arpsec-lint — repo-native static analysis for the ARPSEC tree.
+//
+// Enforces the invariants the compiler cannot see: sim determinism (no
+// wall-clock or global PRNG outside common/time.*), parser hygiene (no
+// discarded Expected results, no assert()-only validation in src/wire/),
+// typed ownership (no naked new/malloc), #pragma once, and include
+// layering between src/ modules. Registered as a CTest test, so tier-1
+// verify fails on any violation.
+//
+//   $ arpsec-lint --root .                 # scan the repo, GCC-style output
+//   $ arpsec-lint --root . --json lint.json
+//   $ arpsec-lint --list-rules
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--json PATH] [--list-rules] [--quiet]\n"
+                 "  --root DIR    repository root to scan (default: .)\n"
+                 "  --json PATH   write an arpsec.lint-report.v1 JSON report\n"
+                 "  --list-rules  print the rule catalog and exit\n"
+                 "  --quiet       suppress per-violation output\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    std::string json_path;
+    bool list_rules = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (arg == "--root") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            root = v;
+        } else if (arg == "--json") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            json_path = v;
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (list_rules) {
+        for (const auto& info : arpsec::lint::rule_catalog()) {
+            std::printf("%-20s %s\n", std::string{info.id}.c_str(),
+                        std::string{info.summary}.c_str());
+        }
+        return 0;
+    }
+
+    arpsec::lint::Linter linter;
+    const auto violations = linter.lint_tree(root);
+    if (linter.files_scanned() == 0) {
+        std::fprintf(stderr, "arpsec-lint: no sources found under '%s' (wrong --root?)\n",
+                     root.c_str());
+        return 2;
+    }
+
+    if (!json_path.empty()) {
+        const auto report =
+            arpsec::lint::Linter::report(violations, root, linter.files_scanned());
+        std::ofstream out{json_path};
+        if (!out) {
+            std::fprintf(stderr, "arpsec-lint: cannot write '%s'\n", json_path.c_str());
+            return 2;
+        }
+        out << report.dump(2) << "\n";
+    }
+
+    if (!quiet) {
+        for (const auto& v : violations) {
+            std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                         v.message.c_str());
+            if (!v.snippet.empty()) std::fprintf(stderr, "    %s\n", v.snippet.c_str());
+        }
+    }
+    std::fprintf(stderr, "arpsec-lint: %zu file(s) scanned, %zu violation(s)\n",
+                 linter.files_scanned(), violations.size());
+    return violations.empty() ? 0 : 1;
+}

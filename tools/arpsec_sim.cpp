@@ -168,15 +168,15 @@ bool append_csv(const Args& args, const core::ScenarioResult& r) {
     }
     std::fprintf(f, "%s,%s,%s,%zu,%llu,%d,%.4f,%.4f,%llu,%llu,%s,%.1f,%llu,%llu,%llu\n",
                  r.scheme_name.c_str(), args.attack.c_str(), args.addressing.c_str(),
-                 args.hosts, (unsigned long long)args.seed, r.attack_succeeded ? 1 : 0,
+                 args.hosts, static_cast<unsigned long long>(args.seed), r.attack_succeeded ? 1 : 0,
                  r.attack_window.interception_ratio(), r.attack_window.delivery_ratio(),
-                 (unsigned long long)r.alerts.true_positives,
-                 (unsigned long long)r.alerts.false_positives,
+                 static_cast<unsigned long long>(r.alerts.true_positives),
+                 static_cast<unsigned long long>(r.alerts.false_positives),
                  r.alerts.detection_latency
                      ? core::fmt_double(r.alerts.detection_latency->to_millis(), 3).c_str()
                      : "",
-                 r.resolution_latency_us.median(), (unsigned long long)r.total_bytes,
-                 (unsigned long long)r.arp_bytes, (unsigned long long)r.crypto_ops.total());
+                 r.resolution_latency_us.median(), static_cast<unsigned long long>(r.total_bytes),
+                 static_cast<unsigned long long>(r.arp_bytes), static_cast<unsigned long long>(r.crypto_ops.total()));
     std::fclose(f);
     return true;
 }
@@ -269,21 +269,21 @@ int main(int argc, char** argv) {
     std::printf("%s\n", result.summary_line().c_str());
     std::printf("  benign window  : %5.1f%% delivered (%llu sent)\n",
                 result.benign_window.delivery_ratio() * 100.0,
-                (unsigned long long)result.benign_window.sent);
+                static_cast<unsigned long long>(result.benign_window.sent));
     std::printf("  attack window  : %5.1f%% delivered, %5.1f%% intercepted (%llu sent)\n",
                 result.attack_window.delivery_ratio() * 100.0,
                 result.attack_window.interception_ratio() * 100.0,
-                (unsigned long long)result.attack_window.sent);
+                static_cast<unsigned long long>(result.attack_window.sent));
     std::printf("  victim cache   : %s\n", result.victim_poisoned_at_end ? "POISONED" : "clean");
     std::printf("  resolve p50    : %.1f us over %zu cold resolutions\n",
                 result.resolution_latency_us.median(), result.resolution_latency_us.count());
     std::printf("  wire           : %llu frames, %llu bytes (%llu ARP frames)\n",
-                (unsigned long long)result.total_frames, (unsigned long long)result.total_bytes,
-                (unsigned long long)result.arp_frames);
+                static_cast<unsigned long long>(result.total_frames), static_cast<unsigned long long>(result.total_bytes),
+                static_cast<unsigned long long>(result.arp_frames));
     if (result.crypto_ops.total() > 0) {
         std::printf("  crypto ops     : %llu signs, %llu verifies\n",
-                    (unsigned long long)result.crypto_ops.signs,
-                    (unsigned long long)result.crypto_ops.verifies);
+                    static_cast<unsigned long long>(result.crypto_ops.signs),
+                    static_cast<unsigned long long>(result.crypto_ops.verifies));
     }
     if (tap) std::printf("  pcap           : %zu frames -> %s\n", tap->frames(),
                          args.pcap_path.c_str());
