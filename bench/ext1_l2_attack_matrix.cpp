@@ -10,6 +10,7 @@
 
 #include "attack/attacker.hpp"
 #include "core/report.hpp"
+#include "exp/bench_main.hpp"
 #include "host/apps.hpp"
 #include "host/dhcp_server.hpp"
 #include "host/host.hpp"
@@ -45,13 +46,13 @@ const char* name_of(L2Attack a) {
     return "?";
 }
 
-struct Outcome {
+struct CaseOutcome {
     bool attack_worked = false;
     std::string evidence;
     std::size_t switch_alerts = 0;
 };
 
-Outcome run_case(L2Attack attack, Protection protection) {
+CaseOutcome run_case(L2Attack attack, Protection protection) {
     sim::Network net(3);
     // Short CAM aging compresses the attacker's wait for legitimate
     // entries to age out of a saturated table (real campaigns simply run
@@ -130,7 +131,7 @@ Outcome run_case(L2Attack attack, Protection protection) {
     // Snapshot pre-attack state.
     const auto flow_before = ledger.flow_stats(1);
 
-    Outcome out;
+    CaseOutcome out;
     switch (attack) {
         case L2Attack::kMacFlood:
             // Sustained flood: keeps the table saturated across the aging
@@ -192,19 +193,27 @@ Outcome run_case(L2Attack attack, Protection protection) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
+    const std::vector<L2Attack> attacks = {L2Attack::kMacFlood, L2Attack::kMacClone,
+                                           L2Attack::kDhcpStarvation};
+    const std::vector<Protection> protections = {Protection::kPlain,
+                                                 Protection::kPortSecurity, Protection::kDai};
+
+    const auto cases = exp::cross(attacks, protections);
+    const auto outcomes = exp::map_cases<CaseOutcome>(cases, opt.jobs, [](const auto& c) {
+        return run_case(c.first, c.second);
+    });
+    const std::size_t failures = exp::report_case_failures("ext1_l2_matrix", outcomes);
+
     core::TextTable table(
         "EXT1 — L2 attacks vs switch protections (beyond the ARP plane)");
     table.set_headers({"attack", "protection", "attack works", "evidence", "switch events"});
-    for (auto attack :
-         {L2Attack::kMacFlood, L2Attack::kMacClone, L2Attack::kDhcpStarvation}) {
-        for (auto protection :
-             {Protection::kPlain, Protection::kPortSecurity, Protection::kDai}) {
-            const Outcome out = run_case(attack, protection);
-            table.add_row({name_of(attack), name_of(protection),
-                           out.attack_worked ? "YES" : "no", out.evidence,
-                           std::to_string(out.switch_alerts)});
-        }
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& out = outcomes[i].value;
+        table.add_row({name_of(cases[i].first), name_of(cases[i].second),
+                       out.attack_worked ? "YES" : "no", out.evidence,
+                       std::to_string(out.switch_alerts)});
     }
     table.print();
 
@@ -212,5 +221,5 @@ int main() {
     std::puts("Reading: DAI is scoped to ARP claims — it stops none of these three,");
     std::puts("while sticky port security stops all of them (and, from T2, none of");
     std::puts("the ARP poisoning). The two are complements, not alternatives.");
-    return 0;
+    return exp::finish_bench(failures);
 }

@@ -11,6 +11,7 @@
 
 #include "attack/attacker.hpp"
 #include "core/report.hpp"
+#include "exp/bench_main.hpp"
 #include "detect/sarp.hpp"
 #include "detect/tarp.hpp"
 #include "host/host.hpp"
@@ -147,44 +148,49 @@ ReplayResult run_replay(detect::Scheme& scheme, Duration replay_after) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
     const std::vector<Duration> delays = {Duration::seconds(5), Duration::seconds(20),
                                           Duration::seconds(60), Duration::seconds(600),
                                           Duration::seconds(4000)};
+
+    struct Variant {
+        std::string label;
+        std::string bound;
+        std::function<std::unique_ptr<detect::Scheme>()> make;
+    };
+    // Short-lived tickets close most of TARP's window at the price of
+    // frequent reissue traffic.
+    detect::TarpScheme::Options short_tickets;
+    short_tickets.ticket_lifetime = Duration::seconds(60);
+    const std::vector<Variant> variants = {
+        {"s-arp", "timestamp tolerance 30s",
+         [] { return std::make_unique<detect::SArpScheme>(); }},
+        {"tarp", "ticket lifetime 3600s",
+         [] { return std::make_unique<detect::TarpScheme>(); }},
+        {"tarp (60s tickets)", "ticket lifetime 60s",
+         [short_tickets] { return std::make_unique<detect::TarpScheme>(short_tickets); }},
+    };
+
+    std::vector<std::size_t> variant_ids;
+    for (std::size_t v = 0; v < variants.size(); ++v) variant_ids.push_back(v);
+    const auto cases = exp::cross(variant_ids, delays);
+    const auto replays =
+        exp::map_cases<ReplayResult>(cases, opt.jobs, [&](const auto& c) {
+            auto scheme = variants[c.first].make();
+            return run_replay(*scheme, c.second);
+        });
+    const std::size_t failures = exp::report_case_failures("ext2_replay", replays);
 
     core::TextTable table(
         "EXT2 — Replay of a captured authenticated ARP reply (accepted by victim?)");
     std::vector<std::string> headers{"scheme", "freshness bound"};
     for (const auto d : delays) headers.push_back("replay +" + d.to_string());
     table.set_headers(headers);
-
-    {
-        std::vector<std::string> row{"s-arp", "timestamp tolerance 30s"};
-        for (const auto d : delays) {
-            detect::SArpScheme scheme;
-            const auto r = run_replay(scheme, d);
-            row.push_back(!r.captured ? "n/a" : (r.accepted ? "ACCEPTED" : "rejected"));
-        }
-        table.add_row(std::move(row));
-    }
-    {
-        std::vector<std::string> row{"tarp", "ticket lifetime 3600s"};
-        for (const auto d : delays) {
-            detect::TarpScheme scheme;
-            const auto r = run_replay(scheme, d);
-            row.push_back(!r.captured ? "n/a" : (r.accepted ? "ACCEPTED" : "rejected"));
-        }
-        table.add_row(std::move(row));
-    }
-    {
-        // Short-lived tickets close most of TARP's window at the price of
-        // frequent reissue traffic.
-        detect::TarpScheme::Options opt;
-        opt.ticket_lifetime = Duration::seconds(60);
-        std::vector<std::string> row{"tarp (60s tickets)", "ticket lifetime 60s"};
-        for (const auto d : delays) {
-            detect::TarpScheme scheme(opt);
-            const auto r = run_replay(scheme, d);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        std::vector<std::string> row{variants[v].label, variants[v].bound};
+        for (std::size_t d = 0; d < delays.size(); ++d) {
+            const auto& r = replays[v * delays.size() + d].value;
             row.push_back(!r.captured ? "n/a" : (r.accepted ? "ACCEPTED" : "rejected"));
         }
         table.add_row(std::move(row));
@@ -198,5 +204,5 @@ int main() {
     std::puts("binding it legitimately attested, so the practical exposure is");
     std::puts("re-pinning a *stale* binding after the station moved — shorter");
     std::puts("tickets shrink that window in exchange for reissue load.");
-    return 0;
+    return exp::finish_bench(failures);
 }

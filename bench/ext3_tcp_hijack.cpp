@@ -11,6 +11,7 @@
 #include "core/report.hpp"
 #include "detect/antidote.hpp"
 #include "detect/registry.hpp"
+#include "exp/bench_main.hpp"
 #include "host/tcp.hpp"
 #include "l2/switch.hpp"
 #include "sim/network.hpp"
@@ -24,7 +25,7 @@ using wire::MacAddress;
 
 namespace {
 
-struct Outcome {
+struct CaseOutcome {
     int attempted = 0;
     int completed = 0;  // all records echoed, orderly close
     int reset = 0;      // killed by an injected RST
@@ -32,7 +33,7 @@ struct Outcome {
     std::uint64_t intercepted = 0;
 };
 
-Outcome run_case(const std::string& scheme_name) {
+CaseOutcome run_case(const std::string& scheme_name) {
     sim::Network net(11);
     auto& sw = net.emplace_node<l2::Switch>("switch", 8);
 
@@ -102,7 +103,7 @@ Outcome run_case(const std::string& scheme_name) {
                         Duration::seconds(1));
     attacker.enable_tcp_rst_injection();
 
-    Outcome out;
+    CaseOutcome out;
     constexpr int kConnections = 10;
     constexpr int kRecords = 5;
 
@@ -132,16 +133,21 @@ Outcome run_case(const std::string& scheme_name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
+    const std::vector<std::string> schemes = {"none", "antidote", "dai-static", "s-arp"};
+    const auto outcomes = exp::map_cases<CaseOutcome>(schemes, opt.jobs, run_case);
+    const std::size_t failures = exp::report_case_failures("ext3_tcp_hijack", outcomes);
+
     core::TextTable table(
         "EXT3 — TCP session resets through an ARP MITM, per protection scheme");
     table.set_headers({"protection", "connections", "completed", "killed by RST",
                        "RSTs injected", "frames intercepted"});
-    for (const std::string name : {"none", "antidote", "dai-static", "s-arp"}) {
-        const Outcome out = run_case(name);
-        table.add_row({name, std::to_string(out.attempted), std::to_string(out.completed),
-                       std::to_string(out.reset), std::to_string(out.rsts_injected),
-                       std::to_string(out.intercepted)});
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto& out = outcomes[i].value;
+        table.add_row({schemes[i], std::to_string(out.attempted),
+                       std::to_string(out.completed), std::to_string(out.reset),
+                       std::to_string(out.rsts_injected), std::to_string(out.intercepted)});
     }
     table.print();
 
@@ -151,5 +157,5 @@ int main() {
     std::puts("in-window RSTs. Every ARP-prevention scheme (host patch, switch DAI,");
     std::puts("signed ARP) removes the MITM position and with it the whole L4 attack");
     std::puts("surface: sessions complete untouched and nothing is intercepted.");
-    return 0;
+    return exp::finish_bench(failures);
 }

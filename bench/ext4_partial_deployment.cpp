@@ -9,6 +9,7 @@
 
 #include "attack/attacker.hpp"
 #include "core/report.hpp"
+#include "exp/bench_main.hpp"
 #include "host/apps.hpp"
 #include "host/host.hpp"
 #include "l2/switch.hpp"
@@ -34,13 +35,13 @@ const char* name_of(Deployment d) {
     return "?";
 }
 
-struct Outcome {
+struct CaseOutcome {
     double interception = 0.0;
     bool poisoned = false;
     std::size_t dai_drops = 0;
 };
 
-Outcome run_case(Deployment deployment) {
+CaseOutcome run_case(Deployment deployment) {
     sim::Network net(17);
     auto& core = net.emplace_node<l2::Switch>("core", 6);
     auto& edge = net.emplace_node<l2::Switch>("edge", 6);
@@ -102,7 +103,7 @@ Outcome run_case(Deployment deployment) {
     sched.run_until(SimTime::zero() + Duration::seconds(30));
     const auto after = ledger.flow_stats(1);
 
-    Outcome out;
+    CaseOutcome out;
     const auto sent = after.sent - before.sent;
     out.interception =
         sent == 0 ? 0.0
@@ -122,15 +123,20 @@ Outcome run_case(Deployment deployment) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
+    const std::vector<Deployment> deployments = {Deployment::kNone, Deployment::kCoreOnly,
+                                                 Deployment::kEdgeOnly, Deployment::kFull};
+    const auto outcomes = exp::map_cases<CaseOutcome>(deployments, opt.jobs, run_case);
+    const std::size_t failures = exp::report_case_failures("ext4_partial_dai", outcomes);
+
     core::TextTable table(
         "EXT4 — Partial DAI deployment on a two-switch fabric (edge-local MITM)");
     table.set_headers({"deployment", "victim flow intercepted", "victim poisoned",
                        "DAI drops"});
-    for (auto d : {Deployment::kNone, Deployment::kCoreOnly, Deployment::kEdgeOnly,
-                   Deployment::kFull}) {
-        const Outcome out = run_case(d);
-        table.add_row({name_of(d), core::fmt_percent(out.interception),
+    for (std::size_t i = 0; i < deployments.size(); ++i) {
+        const auto& out = outcomes[i].value;
+        table.add_row({name_of(deployments[i]), core::fmt_percent(out.interception),
                        core::fmt_bool(out.poisoned), std::to_string(out.dai_drops)});
     }
     table.print();
@@ -140,5 +146,5 @@ int main() {
     std::puts("alone changes nothing — its vantage never sees the forgery. Edge (or");
     std::puts("full) deployment stops it. ARP protection must cover the attacker's");
     std::puts("access layer; a hardened core is deployment theater for this threat.");
-    return 0;
+    return exp::finish_bench(failures);
 }

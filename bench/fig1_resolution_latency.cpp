@@ -7,69 +7,79 @@
 #include <cstdio>
 
 #include "core/report.hpp"
-#include "core/runner.hpp"
 #include "detect/registry.hpp"
+#include "exp/bench_main.hpp"
 
 using namespace arpsec;
 
 namespace {
 
-core::ScenarioConfig benign_config(const std::string& scheme_name, double cost_scale) {
+core::ScenarioConfig benign_config(const exp::Point& p, double cost_scale, bool smoke) {
     core::ScenarioConfig cfg;
-    cfg.seed = 9;
+    cfg.seed = p.seed;
     cfg.host_count = 8;
-    cfg.addressing =
-        scheme_name == "dai" || scheme_name == "lease-monitor"
-            ? core::Addressing::kDhcp
-            : core::Addressing::kStatic;
+    cfg.addressing = p.scheme == "dai" || p.scheme == "lease-monitor"
+                         ? core::Addressing::kDhcp
+                         : core::Addressing::kStatic;
     cfg.attack = core::AttackKind::kNone;
-    cfg.duration = common::Duration::seconds(60);
-    cfg.attack_start = common::Duration::seconds(20);
-    cfg.attack_stop = common::Duration::seconds(50);
     cfg.cost_model = crypto::CostModel().scaled(cost_scale);
+    if (smoke) exp::apply_smoke(cfg);
     return cfg;
 }
 
 }  // namespace
 
-int main() {
-    {
-        core::TextTable table("F1a — Cold ARP resolution latency by scheme (us)");
-        table.set_headers({"scheme", "n", "p50", "p90", "max", "mean"});
-        for (const auto& reg : detect::all_schemes()) {
-            auto scheme = reg.make();
-            const auto r =
-                core::ScenarioRunner::run_scheme(benign_config(reg.name, 1.0), *scheme);
-            const auto& s = r.resolution_latency_us;
-            table.add_row({reg.name, std::to_string(s.count()), core::fmt_double(s.median(), 1),
-                           core::fmt_double(s.percentile(0.9), 1),
-                           core::fmt_double(s.max(), 1), core::fmt_double(s.mean(), 1)});
-        }
-        table.print();
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
+    exp::SweepArtifact artifact("fig1_resolution_latency");
+
+    exp::SweepSpec f1a;
+    f1a.name = "f1a_cold_resolution";
+    for (const auto& reg : detect::all_schemes()) f1a.schemes.push_back(reg.name);
+    f1a.seeds = {9};
+    f1a.configure = [&](const exp::Point& p) { return benign_config(p, 1.0, opt.smoke); };
+    const auto a = exp::run_bench_sweep(f1a, opt);
+    artifact.add(a);
+
+    core::TextTable table_a("F1a — Cold ARP resolution latency by scheme (us)");
+    table_a.set_headers({"scheme", "n", "p50", "p90", "max", "mean"});
+    for (const auto& name : f1a.schemes) {
+        const auto& s = a.at(name, {}).result.resolution_latency_us;
+        table_a.add_row({name, std::to_string(s.count()), core::fmt_double(s.median(), 1),
+                         core::fmt_double(s.percentile(0.9), 1), core::fmt_double(s.max(), 1),
+                         core::fmt_double(s.mean(), 1)});
     }
+    table_a.print();
 
     std::puts("");
-    {
-        core::TextTable table(
-            "F1b — Crypto cost-model sweep (median resolve us): protocol vs crypto cost");
-        table.set_headers({"scheme", "crypto x0", "x0.5", "x1", "x2"});
-        for (const std::string name : {"s-arp", "tarp", "middleware", "none"}) {
-            std::vector<std::string> row{name};
-            for (double scale : {0.0, 0.5, 1.0, 2.0}) {
-                auto scheme = detect::make_scheme(name);
-                const auto r =
-                    core::ScenarioRunner::run_scheme(benign_config(name, scale), *scheme);
-                row.push_back(core::fmt_double(r.resolution_latency_us.median(), 1));
-            }
-            table.add_row(std::move(row));
+    exp::SweepSpec f1b;
+    f1b.name = "f1b_crypto_scale";
+    f1b.schemes = {"s-arp", "tarp", "middleware", "none"};
+    f1b.axes = {{"crypto_scale", {"0", "0.5", "1", "2"}}};
+    f1b.seeds = {9};
+    f1b.configure = [&](const exp::Point& p) {
+        return benign_config(p, p.at_double("crypto_scale"), opt.smoke);
+    };
+    const auto b = exp::run_bench_sweep(f1b, opt);
+    artifact.add(b);
+
+    core::TextTable table_b(
+        "F1b — Crypto cost-model sweep (median resolve us): protocol vs crypto cost");
+    table_b.set_headers({"scheme", "crypto x0", "x0.5", "x1", "x2"});
+    for (const auto& name : f1b.schemes) {
+        std::vector<std::string> row{name};
+        for (const auto& scale : f1b.axes[0].values) {
+            row.push_back(core::fmt_double(
+                b.at(name, {scale}).result.resolution_latency_us.median(), 1));
         }
-        table.print();
+        table_b.add_row(std::move(row));
     }
+    table_b.print();
 
     std::puts("");
     std::puts("Reading: plain ARP resolves in ~50 us; DAI adds nothing measurable;");
     std::puts("middleware pays its verification window; TARP pays one verify; S-ARP");
     std::puts("pays sign+verify plus an AKD round trip when the key cache is cold —");
     std::puts("the x0 column shows the round trips that remain when crypto is free.");
-    return 0;
+    return exp::finish_bench(opt, artifact, a.failures() + b.failures());
 }

@@ -5,62 +5,76 @@
 #include <cstdio>
 
 #include "core/report.hpp"
-#include "core/runner.hpp"
-#include "detect/registry.hpp"
+#include "exp/bench_main.hpp"
 
 using namespace arpsec;
 
 namespace {
 
-core::ScenarioConfig config(const std::string& scheme_name, std::size_t hosts) {
+core::ScenarioConfig benign_config(const exp::Point& p, bool smoke) {
     core::ScenarioConfig cfg;
-    cfg.seed = 5;
-    cfg.host_count = hosts;
-    cfg.addressing =
-        scheme_name == "dai" || scheme_name == "lease-monitor"
-            ? core::Addressing::kDhcp
-            : core::Addressing::kStatic;
+    cfg.seed = p.seed;
     cfg.attack = core::AttackKind::kNone;
     cfg.duration = common::Duration::seconds(30);
     cfg.attack_start = common::Duration::seconds(10);
     cfg.attack_stop = common::Duration::seconds(25);
+    if (smoke) exp::apply_smoke(cfg);
+    cfg.host_count = static_cast<std::size_t>(p.at_int("hosts"));
     return cfg;
 }
 
 }  // namespace
 
-int main() {
-    const std::vector<std::size_t> sizes = {8, 16, 32, 64};
-    const std::vector<std::string> schemes = {"none", "arpwatch", "middleware",
-                                              "dai", "tarp", "s-arp"};
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
+    exp::SweepArtifact artifact("fig2_bandwidth_overhead");
+    const std::vector<std::string> sizes =
+        opt.smoke ? std::vector<std::string>{"2", "4"}
+                  : std::vector<std::string>{"8", "16", "32", "64"};
 
     // Baselines per size for the overhead column — matched on addressing
     // mode, so DAI (which needs DHCP) is compared against a DHCP baseline.
-    std::vector<std::uint64_t> baseline_static;
-    std::vector<std::uint64_t> baseline_dhcp;
-    for (std::size_t n : sizes) {
-        auto s1 = detect::make_scheme("none");
-        baseline_static.push_back(
-            core::ScenarioRunner::run_scheme(config("none", n), *s1).total_bytes);
-        auto s2 = detect::make_scheme("none");
-        auto dhcp_cfg = config("none", n);
-        dhcp_cfg.addressing = core::Addressing::kDhcp;
-        baseline_dhcp.push_back(
-            core::ScenarioRunner::run_scheme(dhcp_cfg, *s2).total_bytes);
-    }
+    exp::SweepSpec base;
+    base.name = "f2_baseline";
+    base.schemes = {"none"};
+    base.axes = {{"addressing", {"static", "dhcp"}}, {"hosts", sizes}};
+    base.seeds = {5};
+    base.configure = [&](const exp::Point& p) {
+        auto cfg = benign_config(p, opt.smoke);
+        cfg.addressing = p.at("addressing") == "dhcp" ? core::Addressing::kDhcp
+                                                      : core::Addressing::kStatic;
+        return cfg;
+    };
+    const auto baselines = exp::run_bench_sweep(base, opt);
+    artifact.add(baselines);
+
+    exp::SweepSpec f2;
+    f2.name = "f2_overhead";
+    f2.schemes = {"none", "arpwatch", "middleware", "dai", "tarp", "s-arp"};
+    f2.axes = {{"hosts", sizes}};
+    f2.seeds = {5};
+    f2.configure = [&](const exp::Point& p) {
+        auto cfg = benign_config(p, opt.smoke);
+        cfg.addressing = p.scheme == "dai" || p.scheme == "lease-monitor"
+                             ? core::Addressing::kDhcp
+                             : core::Addressing::kStatic;
+        return cfg;
+    };
+    const auto runs = exp::run_bench_sweep(f2, opt);
+    artifact.add(runs);
 
     core::TextTable table("F2 — Bytes on the wire (benign 30 s run) vs LAN size");
     table.set_headers({"scheme", "hosts", "total bytes", "ARP bytes", "ARP frames",
                        "overhead vs none"});
-    for (const auto& name : schemes) {
-        for (std::size_t i = 0; i < sizes.size(); ++i) {
-            auto scheme = detect::make_scheme(name);
-            const auto r = core::ScenarioRunner::run_scheme(config(name, sizes[i]), *scheme);
-            const std::uint64_t base =
-                name == "dai" ? baseline_dhcp[i] : baseline_static[i];
-            const double overhead =
-                static_cast<double>(r.total_bytes) / static_cast<double>(base) - 1.0;
-            table.add_row({name, std::to_string(sizes[i]), std::to_string(r.total_bytes),
+    for (const auto& name : f2.schemes) {
+        for (const auto& n : sizes) {
+            const auto& r = runs.at(name, {n}).result;
+            const std::string base_mode = name == "dai" ? "dhcp" : "static";
+            const auto base_bytes = baselines.at("none", {base_mode, n}).result.total_bytes;
+            const double overhead = static_cast<double>(r.total_bytes) /
+                                        static_cast<double>(base_bytes) -
+                                    1.0;
+            table.add_row({name, n, std::to_string(r.total_bytes),
                            std::to_string(r.arp_bytes), std::to_string(r.arp_frames),
                            core::fmt_percent(overhead)});
         }
@@ -72,5 +86,5 @@ int main() {
     std::puts("signed ARP roughly doubles ARP bytes (auth trailers) and S-ARP adds");
     std::puts("AKD key-fetch traffic; middleware adds one broadcast verification");
     std::puts("per new binding. Absolute ARP volume is small next to data traffic.");
-    return 0;
+    return exp::finish_bench(opt, artifact, baselines.failures() + runs.failures());
 }

@@ -5,78 +5,56 @@
 
 #include <cstdio>
 
-#include "core/artifact.hpp"
 #include "core/report.hpp"
-#include "core/runner.hpp"
-#include "detect/registry.hpp"
-#include "telemetry/run_artifact.hpp"
+#include "exp/bench_main.hpp"
 
 using namespace arpsec;
 
-namespace {
-
-core::ScenarioConfig config(common::Duration repoison, std::uint64_t seed) {
-    core::ScenarioConfig cfg;
-    cfg.seed = seed;
-    cfg.host_count = 8;
-    cfg.addressing = core::Addressing::kStatic;
-    cfg.attack = core::AttackKind::kMitm;
-    cfg.duration = common::Duration::seconds(60);
-    cfg.attack_start = common::Duration::seconds(20);
-    cfg.attack_stop = common::Duration::seconds(50);
-    cfg.repoison_period = repoison;
-    return cfg;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-    const std::vector<common::Duration> periods = {
-        common::Duration::millis(100), common::Duration::millis(500),
-        common::Duration::seconds(2), common::Duration::seconds(10)};
-    const std::vector<std::string> detectors = {"arpwatch", "snort-arpspoof", "active-probe",
-                                                "anticap", "antidote", "dai-static"};
-
-    // Sweep results are machine-readable by default: one run object per
-    // (scheme, period) point, written as a run artifact next to the table.
-    const std::string artifact_path = argc > 1 ? argv[1] : "fig3_detection_latency.runs.json";
-    telemetry::RunArtifact artifact("fig3_detection_latency");
+    auto opt = exp::parse_bench_args(argc, argv);
+    // Sweep results are machine-readable by default: this bench always
+    // writes its artifact next to the table (CI parses it).
+    if (opt.artifact_path.empty()) opt.artifact_path = "fig3_detection_latency.runs.json";
+    exp::SweepArtifact artifact("fig3_detection_latency");
     artifact.set_meta("sweep_axis", "repoison_period_ms");
+
+    exp::SweepSpec f3;
+    f3.name = "f3_detection_latency";
+    f3.schemes = {"arpwatch", "snort-arpspoof", "active-probe",
+                  "anticap",  "antidote",       "dai-static"};
+    f3.axes = {{"repoison_ms", {"100", "500", "2000", "10000"}}};
+    f3.seeds = {21};
+    f3.configure = [&](const exp::Point& p) {
+        core::ScenarioConfig cfg;
+        cfg.seed = p.seed;
+        cfg.host_count = 8;
+        cfg.addressing = core::Addressing::kStatic;
+        cfg.attack = core::AttackKind::kMitm;
+        if (opt.smoke) exp::apply_smoke(cfg);
+        cfg.repoison_period = common::Duration::millis(p.at_int("repoison_ms"));
+        return cfg;
+    };
+    const auto runs = exp::run_bench_sweep(f3, opt);
+    artifact.add(runs);
 
     core::TextTable table("F3 — Detection latency vs poison re-send interval (MITM)");
     table.set_headers({"scheme", "repoison", "first alert after", "TP alerts", "intercepted"});
-    for (const auto& name : detectors) {
-        for (const auto period : periods) {
-            auto scheme = detect::make_scheme(name);
-            core::ScenarioRunner runner(config(period, 21));
-            const auto r = runner.run(*scheme);
+    for (const auto& name : f3.schemes) {
+        for (const auto& period : f3.axes[0].values) {
+            const auto& r = runs.at(name, {period}).result;
             table.add_row(
-                {name, period.to_string(),
+                {name, common::Duration::millis(std::stoll(period)).to_string(),
                  r.alerts.detection_latency ? r.alerts.detection_latency->to_string() : "n/a",
                  std::to_string(r.alerts.true_positives),
                  core::fmt_percent(r.attack_window.interception_ratio())});
-
-            telemetry::Json run = core::run_json(r, &runner.metrics());
-            telemetry::Json sweep = telemetry::Json::object();
-            sweep["scheme"] = name;
-            sweep["repoison_period_ms"] = period.to_millis();
-            run["sweep"] = std::move(sweep);
-            artifact.add_run(std::move(run));
         }
     }
     table.print();
-
-    if (artifact.write(artifact_path)) {
-        std::printf("\nwrote %zu runs -> %s\n", artifact.run_count(), artifact_path.c_str());
-    } else {
-        std::fprintf(stderr, "failed to write %s\n", artifact_path.c_str());
-        return 1;
-    }
 
     std::puts("");
     std::puts("Reading: detection latency is dominated by the attacker's first");
     std::puts("poison frame reaching the vantage point — microseconds for every");
     std::puts("scheme here. Alert volume scales with re-poison rate for per-packet");
     std::puts("detectors, while active-probe's backoff keeps it bounded.");
-    return 0;
+    return exp::finish_bench(opt, artifact, runs.failures());
 }

@@ -8,9 +8,8 @@
 
 #include "attack/attacker.hpp"
 #include "core/report.hpp"
-#include "core/runner.hpp"
 #include "detect/antidote.hpp"
-#include "detect/registry.hpp"
+#include "exp/bench_main.hpp"
 #include "host/host.hpp"
 #include "l2/switch.hpp"
 #include "sim/network.hpp"
@@ -60,21 +59,31 @@ bool race_once(const arp::CachePolicy& policy, Duration reaction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
     const std::vector<Duration> reactions = {
         Duration::micros(0),  Duration::micros(5),   Duration::micros(10),
         Duration::micros(14), Duration::micros(20),  Duration::micros(50),
         Duration::micros(200), Duration::millis(5)};
+
+    // F4a is not a ScenarioRunner sweep (custom three-station topology), so
+    // it fans the policy × reaction grid out through the generic case map.
+    const auto policies = arp::CachePolicy::all_profiles();
+    const auto cases = exp::cross(policies, reactions);
+    const auto raced = exp::map_cases<bool>(cases, opt.jobs, [](const auto& c) {
+        return race_once(c.first, c.second);
+    });
+    const std::size_t race_failures = exp::report_case_failures("f4a_reply_race", raced);
 
     core::TextTable table(
         "F4a — Reply-race outcome vs attacker reaction delay (victim stack ~15 us)");
     std::vector<std::string> headers{"policy"};
     for (const auto r : reactions) headers.push_back(r.to_string());
     table.set_headers(headers);
-    for (const auto& policy : arp::CachePolicy::all_profiles()) {
-        std::vector<std::string> row{policy.name};
-        for (const auto r : reactions) {
-            row.push_back(race_once(policy, r) ? "ATTACKER" : "owner");
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        std::vector<std::string> row{policies[p].name};
+        for (std::size_t r = 0; r < reactions.size(); ++r) {
+            row.push_back(raced[p * reactions.size() + r].value ? "ATTACKER" : "owner");
         }
         table.add_row(std::move(row));
     }
@@ -87,28 +96,39 @@ int main() {
 
     // ---- F4b: Antidote-defeat ablation -----------------------------------
     std::puts("");
-    {
-        core::TextTable table2("F4b — Antidote ablation: probe verification vs offline victim");
-        table2.set_headers({"attack", "victim state", "attack success", "poisoned", "TP alerts"});
-        for (const bool offline : {false, true}) {
-            core::ScenarioConfig cfg;
-            cfg.seed = 4;
-            cfg.host_count = 4;
-            cfg.attack =
-                offline ? core::AttackKind::kHijackOffline : core::AttackKind::kMitm;
-            cfg.duration = common::Duration::seconds(40);
-            cfg.attack_start = common::Duration::seconds(15);
-            cfg.attack_stop = common::Duration::seconds(35);
-            detect::AntidoteScheme scheme;
-            const auto r = core::ScenarioRunner::run_scheme(cfg, scheme);
-            table2.add_row({offline ? "hijack" : "mitm", offline ? "offline" : "online",
-                            core::fmt_bool(r.attack_succeeded),
-                            core::fmt_bool(r.victim_poisoned_at_end),
-                            std::to_string(r.alerts.true_positives)});
-        }
-        table2.print();
-        std::puts("Reading: Antidote's probe stops the online MITM cold, but nobody");
-        std::puts("answers for a powered-off station, so impersonating it succeeds.");
+    exp::SweepSpec f4b;
+    f4b.name = "f4b_antidote_ablation";
+    f4b.axes = {{"victim", {"online", "offline"}}};
+    f4b.seeds = {4};
+    f4b.configure = [&](const exp::Point& p) {
+        core::ScenarioConfig cfg;
+        cfg.seed = p.seed;
+        cfg.host_count = 4;
+        cfg.attack = p.at("victim") == "offline" ? core::AttackKind::kHijackOffline
+                                                 : core::AttackKind::kMitm;
+        cfg.duration = common::Duration::seconds(40);
+        cfg.attack_start = common::Duration::seconds(15);
+        cfg.attack_stop = common::Duration::seconds(35);
+        if (opt.smoke) exp::apply_smoke(cfg);
+        return cfg;
+    };
+    f4b.factory = [](const exp::Point&) { return std::make_unique<detect::AntidoteScheme>(); };
+    const auto ablation = exp::run_bench_sweep(f4b, opt);
+
+    core::TextTable table2("F4b — Antidote ablation: probe verification vs offline victim");
+    table2.set_headers({"attack", "victim state", "attack success", "poisoned", "TP alerts"});
+    for (const auto& state : f4b.axes[0].values) {
+        const auto& r = ablation.at("", {state}).result;
+        table2.add_row({state == "offline" ? "hijack" : "mitm", state,
+                        core::fmt_bool(r.attack_succeeded),
+                        core::fmt_bool(r.victim_poisoned_at_end),
+                        std::to_string(r.alerts.true_positives)});
     }
-    return 0;
+    table2.print();
+    std::puts("Reading: Antidote's probe stops the online MITM cold, but nobody");
+    std::puts("answers for a powered-off station, so impersonating it succeeds.");
+
+    exp::SweepArtifact artifact("fig4_race_window");
+    artifact.add(ablation);
+    return exp::finish_bench(opt, artifact, race_failures + ablation.failures());
 }

@@ -6,119 +6,104 @@
 
 #include <cstdio>
 
-#include "core/artifact.hpp"
 #include "core/report.hpp"
-#include "core/runner.hpp"
-#include "detect/registry.hpp"
-#include "telemetry/run_artifact.hpp"
+#include "exp/bench_main.hpp"
 
 using namespace arpsec;
 
 namespace {
 
-core::ScenarioConfig dhcp_churn_config(std::uint32_t lease_seconds, std::uint64_t seed) {
+core::ScenarioConfig churn_base(const exp::Point& p, bool smoke) {
     core::ScenarioConfig cfg;
-    cfg.seed = seed;
+    cfg.seed = p.seed;
     cfg.host_count = 6;
-    cfg.addressing = core::Addressing::kDhcp;
     cfg.attack = core::AttackKind::kNone;
-    cfg.duration = common::Duration::seconds(60);
-    cfg.attack_start = common::Duration::seconds(20);
-    cfg.attack_stop = common::Duration::seconds(50);
-    cfg.churn.dhcp_recycles = 3;
-    cfg.lease_seconds = lease_seconds;
+    if (smoke) {
+        exp::apply_smoke(cfg);
+        cfg.host_count = 4;  // churn needs spare stations to recycle
+    }
     return cfg;
 }
 
-core::ScenarioConfig nic_swap_config(std::uint64_t seed) {
-    core::ScenarioConfig cfg;
-    cfg.seed = seed;
-    cfg.host_count = 6;
-    cfg.addressing = core::Addressing::kStatic;
-    cfg.attack = core::AttackKind::kNone;
-    cfg.duration = common::Duration::seconds(60);
-    cfg.attack_start = common::Duration::seconds(20);
-    cfg.attack_stop = common::Duration::seconds(50);
-    cfg.churn.nic_swap = true;
-    return cfg;
+std::string nic_swap_note(const std::string& name) {
+    if (name == "arpwatch") return "flags the legitimate change";
+    if (name == "snort-arpspoof") return "stale table alarms forever";
+    if (name == "active-probe") return "probe times out -> absorbed";
+    if (name == "anticap") return "blocks the legit rebind too";
+    if (name == "antidote") return "probe times out -> accepted";
+    if (name == "middleware") return "single claimant -> admitted";
+    if (name == "gossip") return "stale peer caches disagree briefly";
+    return "";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+    auto opt = exp::parse_bench_args(argc, argv);
+    if (opt.artifact_path.empty()) opt.artifact_path = "fig5_false_positives.runs.json";
+    exp::SweepArtifact artifact("fig5_false_positives");
+    artifact.set_meta("sweep_axis", "churn kind x lease_seconds");
+
     const std::vector<std::string> schemes = {"arpwatch",   "snort-arpspoof", "active-probe",
                                               "anticap",    "antidote",       "middleware",
                                               "gossip",     "lease-monitor",  "dai"};
 
-    const std::string artifact_path = argc > 1 ? argv[1] : "fig5_false_positives.runs.json";
-    telemetry::RunArtifact artifact("fig5_false_positives");
-    artifact.set_meta("sweep_axis", "churn kind x lease_seconds");
+    exp::SweepSpec f5a;
+    f5a.name = "f5a_dhcp_churn";
+    f5a.schemes = schemes;
+    f5a.axes = {{"lease_seconds", {"60", "120", "600"}}};
+    f5a.seeds = {31};
+    f5a.configure = [&](const exp::Point& p) {
+        auto cfg = churn_base(p, opt.smoke);
+        cfg.addressing = core::Addressing::kDhcp;
+        cfg.churn.dhcp_recycles = 3;
+        cfg.lease_seconds = static_cast<std::uint32_t>(p.at_int("lease_seconds"));
+        return cfg;
+    };
+    const auto dhcp = exp::run_bench_sweep(f5a, opt);
+    artifact.add(dhcp);
 
-    {
-        core::TextTable table(
-            "F5a — False positives, DHCP churn (3 recycled stations per run)");
-        table.set_headers({"scheme", "lease 60s", "lease 120s", "lease 600s"});
-        for (const auto& name : schemes) {
-            std::vector<std::string> row{name};
-            for (std::uint32_t lease : {60u, 120u, 600u}) {
-                auto scheme = detect::make_scheme(name);
-                core::ScenarioRunner runner(dhcp_churn_config(lease, 31));
-                const auto r = runner.run(*scheme);
-                row.push_back(std::to_string(r.alerts.false_positives));
-
-                telemetry::Json run = core::run_json(r, &runner.metrics());
-                telemetry::Json sweep = telemetry::Json::object();
-                sweep["scheme"] = name;
-                sweep["churn"] = "dhcp-recycle";
-                sweep["lease_seconds"] = static_cast<std::uint64_t>(lease);
-                run["sweep"] = std::move(sweep);
-                artifact.add_run(std::move(run));
-            }
-            table.add_row(std::move(row));
+    core::TextTable table("F5a — False positives, DHCP churn (3 recycled stations per run)");
+    table.set_headers({"scheme", "lease 60s", "lease 120s", "lease 600s"});
+    for (const auto& name : schemes) {
+        std::vector<std::string> row{name};
+        for (const auto& lease : f5a.axes[0].values) {
+            row.push_back(std::to_string(dhcp.at(name, {lease}).result.alerts.false_positives));
         }
-        table.print();
+        table.add_row(std::move(row));
     }
+    table.print();
 
     std::puts("");
-    {
-        core::TextTable table("F5b — False positives, NIC replacement (static addressing)");
-        table.set_headers({"scheme", "false positives", "notes"});
-        for (const auto& name : schemes) {
-            if (name == "dai" || name == "lease-monitor") continue;  // need DHCP
-            auto scheme = detect::make_scheme(name);
-            core::ScenarioRunner runner(nic_swap_config(32));
-            const auto r = runner.run(*scheme);
-            telemetry::Json run = core::run_json(r, &runner.metrics());
-            telemetry::Json sweep = telemetry::Json::object();
-            sweep["scheme"] = name;
-            sweep["churn"] = "nic-swap";
-            run["sweep"] = std::move(sweep);
-            artifact.add_run(std::move(run));
-            std::string note;
-            if (name == "arpwatch") note = "flags the legitimate change";
-            if (name == "snort-arpspoof") note = "stale table alarms forever";
-            if (name == "active-probe") note = "probe times out -> absorbed";
-            if (name == "anticap") note = "blocks the legit rebind too";
-            if (name == "antidote") note = "probe times out -> accepted";
-            if (name == "middleware") note = "single claimant -> admitted";
-            if (name == "gossip") note = "stale peer caches disagree briefly";
-            table.add_row({name, std::to_string(r.alerts.false_positives), note});
-        }
-        table.print();
+    exp::SweepSpec f5b;
+    f5b.name = "f5b_nic_swap";
+    for (const auto& name : schemes) {
+        if (name == "dai" || name == "lease-monitor") continue;  // need DHCP
+        f5b.schemes.push_back(name);
     }
+    f5b.seeds = {32};
+    f5b.configure = [&](const exp::Point& p) {
+        auto cfg = churn_base(p, opt.smoke);
+        cfg.addressing = core::Addressing::kStatic;
+        cfg.churn.nic_swap = true;
+        return cfg;
+    };
+    const auto swap = exp::run_bench_sweep(f5b, opt);
+    artifact.add(swap);
 
-    std::puts("");
-    if (artifact.write(artifact_path)) {
-        std::printf("wrote %zu runs -> %s\n", artifact.run_count(), artifact_path.c_str());
-    } else {
-        std::fprintf(stderr, "failed to write %s\n", artifact_path.c_str());
-        return 1;
+    core::TextTable table2("F5b — False positives, NIC replacement (static addressing)");
+    table2.set_headers({"scheme", "false positives", "notes"});
+    for (const auto& name : f5b.schemes) {
+        table2.add_row({name,
+                        std::to_string(swap.at(name, {}).result.alerts.false_positives),
+                        nic_swap_note(name)});
     }
+    table2.print();
 
     std::puts("");
     std::puts("Reading: table-and-database detectors (arpwatch, snort) cannot tell");
     std::puts("legitimate rebinding from an attack; verification-based schemes");
     std::puts("(active-probe, antidote, middleware) absorb churn without alarms,");
     std::puts("and anticap trades its false alarms for broken connectivity.");
-    return 0;
+    return exp::finish_bench(opt, artifact, dhcp.failures() + swap.failures());
 }

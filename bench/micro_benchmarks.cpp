@@ -1,15 +1,25 @@
-// Microbenchmarks (google-benchmark) for the framework's hot paths:
-// crypto primitives, wire codecs, ARP cache and CAM operations, switch
-// forwarding, and whole-scenario simulation throughput.
+// Microbenchmarks for the framework's hot paths: crypto primitives, wire
+// codecs, ARP cache and CAM operations, and whole-scenario simulation
+// throughput. A declarative case list timed with common::Stopwatch —
+// self-calibrating repetition, no external benchmark dependency. Timing
+// output is inherently machine-dependent, so unlike the table/figure
+// benches this binary makes no byte-stability promise.
 
-#include <benchmark/benchmark.h>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "arp/cache.hpp"
+#include "common/time.hpp"
+#include "core/report.hpp"
 #include "core/runner.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/schnorr.hpp"
 #include "crypto/sha256.hpp"
 #include "detect/registry.hpp"
+#include "exp/bench_main.hpp"
 #include "l2/cam_table.hpp"
 #include "wire/arp_packet.hpp"
 #include "wire/dhcp_message.hpp"
@@ -18,176 +28,225 @@
 
 using namespace arpsec;
 
-// ---------------------------------------------------------------------------
-// Crypto
-// ---------------------------------------------------------------------------
+namespace {
 
-static void BM_Sha256(benchmark::State& state) {
-    std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xAB);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+// Results are folded into this sink so the optimizer cannot elide the
+// measured work (the volatile store is the side effect).
+volatile std::uint64_t g_sink = 0;
+
+void sink(std::uint64_t v) { g_sink = g_sink + v; }
+
+struct MicroCase {
+    std::string name;
+    std::uint64_t bytes_per_iter = 0;  // 0: no throughput column
+    std::function<void(std::size_t iters)> body;
+};
+
+struct Timing {
+    std::size_t iters = 0;
+    double ns_per_op = 0.0;
+};
+
+/// Runs the body once to calibrate, then scales the repetition count so the
+/// timed region lasts at least `min_seconds`.
+Timing time_case(const MicroCase& c, double min_seconds) {
+    common::Stopwatch sw;
+    c.body(1);
+    double elapsed = sw.elapsed_seconds();
+    std::size_t iters = 1;
+    if (elapsed < min_seconds) {
+        iters = static_cast<std::size_t>(std::ceil(min_seconds / std::max(elapsed, 1e-9)));
+        if (iters > (1u << 22)) iters = 1u << 22;
+        sw.restart();
+        c.body(iters);
+        elapsed = sw.elapsed_seconds();
     }
-    state.SetBytesProcessed(state.iterations() * state.range(0));
+    return {iters, elapsed * 1e9 / static_cast<double>(iters)};
 }
-BENCHMARK(BM_Sha256)->Arg(28)->Arg(64)->Arg(1500);
 
-static void BM_HmacSha256(benchmark::State& state) {
-    std::vector<std::uint8_t> key(32, 0x11);
-    std::vector<std::uint8_t> msg(64, 0x22);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(crypto::hmac_sha256(key, msg));
-    }
+core::ScenarioConfig scenario_config(std::size_t hosts, bool smoke) {
+    core::ScenarioConfig cfg;
+    cfg.seed = 1;
+    cfg.host_count = hosts;
+    cfg.attack = core::AttackKind::kMitm;
+    cfg.duration = common::Duration::seconds(smoke ? 6 : 20);
+    cfg.attack_start = common::Duration::seconds(smoke ? 2 : 5);
+    cfg.attack_stop = common::Duration::seconds(smoke ? 5 : 15);
+    return cfg;
 }
-BENCHMARK(BM_HmacSha256);
 
-static void BM_SchnorrSign(benchmark::State& state) {
-    const auto kp = crypto::KeyPair::derive(7);
-    std::vector<std::uint8_t> msg(36, 0x33);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(kp.sign(msg));
+std::vector<MicroCase> build_cases(bool smoke) {
+    std::vector<MicroCase> cases;
+
+    for (const std::size_t len : {std::size_t{28}, std::size_t{64}, std::size_t{1500}}) {
+        cases.push_back({"sha256/" + std::to_string(len), len, [len](std::size_t iters) {
+                             const std::vector<std::uint8_t> data(len, 0xAB);
+                             for (std::size_t i = 0; i < iters; ++i) {
+                                 sink(crypto::Sha256::hash(data)[0]);
+                             }
+                         }});
     }
+    cases.push_back({"hmac_sha256/64", 64, [](std::size_t iters) {
+                         const std::vector<std::uint8_t> key(32, 0x11);
+                         const std::vector<std::uint8_t> msg(64, 0x22);
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             sink(crypto::hmac_sha256(key, msg)[0]);
+                         }
+                     }});
+    cases.push_back({"schnorr_sign", 0, [](std::size_t iters) {
+                         const auto kp = crypto::KeyPair::derive(7);
+                         const std::vector<std::uint8_t> msg(36, 0x33);
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             sink(kp.sign(msg).s);
+                         }
+                     }});
+    cases.push_back({"schnorr_verify", 0, [](std::size_t iters) {
+                         const auto kp = crypto::KeyPair::derive(7);
+                         const std::vector<std::uint8_t> msg(36, 0x33);
+                         const auto sig = kp.sign(msg);
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             sink(kp.public_key().verify(msg, sig) ? 1 : 0);
+                         }
+                     }});
+
+    cases.push_back({"arp_serialize_parse", 0, [](std::size_t iters) {
+                         const auto pkt = wire::ArpPacket::request(
+                             wire::MacAddress::local(1), wire::Ipv4Address{10, 0, 0, 1},
+                             wire::Ipv4Address{10, 0, 0, 2});
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             const auto raw = pkt.serialize();
+                             sink(wire::ArpPacket::parse(raw).ok() ? raw.size() : 0);
+                         }
+                     }});
+    for (const std::size_t len : {std::size_t{64}, std::size_t{512}, std::size_t{1400}}) {
+        cases.push_back(
+            {"ethernet_roundtrip/" + std::to_string(len), 0, [len](std::size_t iters) {
+                 wire::EthernetFrame f;
+                 f.dst = wire::MacAddress::local(1);
+                 f.src = wire::MacAddress::local(2);
+                 f.ether_type = wire::EtherType::kIpv4;
+                 wire::Ipv4Packet ip;
+                 ip.src = wire::Ipv4Address{10, 0, 0, 1};
+                 ip.dst = wire::Ipv4Address{10, 0, 0, 2};
+                 ip.payload.assign(len, 0x5A);
+                 f.payload = ip.serialize();
+                 for (std::size_t i = 0; i < iters; ++i) {
+                     const auto raw = f.serialize();
+                     sink(wire::EthernetFrame::parse(raw).ok() ? raw.size() : 0);
+                 }
+             }});
+    }
+    cases.push_back({"dhcp_roundtrip", 0, [](std::size_t iters) {
+                         wire::DhcpMessage m;
+                         m.op = 2;
+                         m.yiaddr = wire::Ipv4Address{192, 168, 1, 100};
+                         m.chaddr = wire::MacAddress::local(5);
+                         m.message_type = wire::DhcpMessageType::kAck;
+                         m.lease_seconds = 3600;
+                         m.server_id = wire::Ipv4Address{192, 168, 1, 1};
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             const auto raw = m.serialize();
+                             sink(wire::DhcpMessage::parse(raw).ok() ? raw.size() : 0);
+                         }
+                     }});
+
+    cases.push_back({"arp_cache_offer", 0, [](std::size_t iters) {
+                         arp::ArpCache cache(arp::CachePolicy::linux26());
+                         common::SimTime now;
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             cache.offer(wire::Ipv4Address{static_cast<std::uint32_t>(i % 1024)},
+                                         wire::MacAddress::local(i % 64),
+                                         arp::UpdateSource::kSolicitedReply, now);
+                             now += common::Duration::micros(1);
+                         }
+                         sink(cache.size());
+                     }});
+    cases.push_back({"arp_cache_lookup_hit", 0, [](std::size_t iters) {
+                         arp::ArpCache cache(arp::CachePolicy::linux26());
+                         const common::SimTime now;
+                         for (std::uint32_t i = 0; i < 256; ++i) {
+                             cache.offer(wire::Ipv4Address{i}, wire::MacAddress::local(i),
+                                         arp::UpdateSource::kSolicitedReply, now);
+                         }
+                         std::uint64_t hits = 0;
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             if (cache.lookup(
+                                     wire::Ipv4Address{static_cast<std::uint32_t>(i % 256)},
+                                     now)) {
+                                 ++hits;
+                             }
+                         }
+                         sink(hits);
+                     }});
+    cases.push_back({"cam_learn_lookup", 0, [](std::size_t iters) {
+                         l2::CamConfig cfg;
+                         cfg.capacity = 4096;
+                         l2::CamTable cam(cfg);
+                         common::SimTime now;
+                         std::uint64_t hits = 0;
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             cam.learn(wire::MacAddress::local(i % 2048),
+                                       static_cast<sim::PortId>(i % 8), now);
+                             if (cam.lookup(wire::MacAddress::local((i + 1) % 2048), now)) {
+                                 ++hits;
+                             }
+                             now += common::Duration::micros(1);
+                         }
+                         sink(hits);
+                     }});
+
+    for (const std::size_t hosts : {std::size_t{8}, std::size_t{32}}) {
+        cases.push_back({"scenario_mitm/" + std::to_string(hosts) + "hosts", 0,
+                         [hosts, smoke](std::size_t iters) {
+                             for (std::size_t i = 0; i < iters; ++i) {
+                                 detect::NullScheme scheme;
+                                 const auto r = core::ScenarioRunner::run_scheme(
+                                     scenario_config(hosts, smoke), scheme);
+                                 sink(r.events_executed);
+                             }
+                         }});
+    }
+    cases.push_back({"scenario_mitm_sarp/8hosts", 0, [smoke](std::size_t iters) {
+                         for (std::size_t i = 0; i < iters; ++i) {
+                             auto scheme = detect::make_scheme("s-arp");
+                             const auto r = core::ScenarioRunner::run_scheme(
+                                 scenario_config(8, smoke), *scheme);
+                             sink(r.events_executed);
+                         }
+                     }});
+    return cases;
 }
-BENCHMARK(BM_SchnorrSign);
 
-static void BM_SchnorrVerify(benchmark::State& state) {
-    const auto kp = crypto::KeyPair::derive(7);
-    std::vector<std::uint8_t> msg(36, 0x33);
-    const auto sig = kp.sign(msg);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(kp.public_key().verify(msg, sig));
+std::string fmt_time_per_op(double ns) {
+    char buf[64];
+    if (ns >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+    } else if (ns >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f ns", ns);
     }
+    return buf;
 }
-BENCHMARK(BM_SchnorrVerify);
 
-// ---------------------------------------------------------------------------
-// Wire codecs
-// ---------------------------------------------------------------------------
+}  // namespace
 
-static void BM_ArpSerializeParse(benchmark::State& state) {
-    const auto pkt = wire::ArpPacket::request(wire::MacAddress::local(1),
-                                              wire::Ipv4Address{10, 0, 0, 1},
-                                              wire::Ipv4Address{10, 0, 0, 2});
-    for (auto _ : state) {
-        const auto raw = pkt.serialize();
-        benchmark::DoNotOptimize(wire::ArpPacket::parse(raw));
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
+    const double min_seconds = opt.smoke ? 0.01 : 0.25;
+
+    core::TextTable table("Microbenchmarks (framework hot paths)");
+    table.set_headers({"case", "iterations", "time/op", "MB/s"});
+    for (const auto& c : build_cases(opt.smoke)) {
+        const Timing t = time_case(c, min_seconds);
+        std::string throughput = "-";
+        if (c.bytes_per_iter > 0) {
+            throughput = core::fmt_double(
+                static_cast<double>(c.bytes_per_iter) * 1e9 / t.ns_per_op / 1e6, 1);
+        }
+        table.add_row({c.name, std::to_string(t.iters), fmt_time_per_op(t.ns_per_op),
+                       throughput});
     }
+    table.print();
+    return 0;
 }
-BENCHMARK(BM_ArpSerializeParse);
-
-static void BM_EthernetRoundTrip(benchmark::State& state) {
-    wire::EthernetFrame f;
-    f.dst = wire::MacAddress::local(1);
-    f.src = wire::MacAddress::local(2);
-    f.ether_type = wire::EtherType::kIpv4;
-    wire::Ipv4Packet ip;
-    ip.src = wire::Ipv4Address{10, 0, 0, 1};
-    ip.dst = wire::Ipv4Address{10, 0, 0, 2};
-    ip.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5A);
-    f.payload = ip.serialize();
-    for (auto _ : state) {
-        const auto raw = f.serialize();
-        auto parsed = wire::EthernetFrame::parse(raw);
-        benchmark::DoNotOptimize(parsed);
-    }
-    state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(f.wire_size()));
-}
-BENCHMARK(BM_EthernetRoundTrip)->Arg(64)->Arg(512)->Arg(1400);
-
-static void BM_DhcpRoundTrip(benchmark::State& state) {
-    wire::DhcpMessage m;
-    m.op = 2;
-    m.yiaddr = wire::Ipv4Address{192, 168, 1, 100};
-    m.chaddr = wire::MacAddress::local(5);
-    m.message_type = wire::DhcpMessageType::kAck;
-    m.lease_seconds = 3600;
-    m.server_id = wire::Ipv4Address{192, 168, 1, 1};
-    for (auto _ : state) {
-        const auto raw = m.serialize();
-        benchmark::DoNotOptimize(wire::DhcpMessage::parse(raw));
-    }
-}
-BENCHMARK(BM_DhcpRoundTrip);
-
-// ---------------------------------------------------------------------------
-// Tables
-// ---------------------------------------------------------------------------
-
-static void BM_ArpCacheOffer(benchmark::State& state) {
-    arp::ArpCache cache(arp::CachePolicy::linux26());
-    common::SimTime now;
-    std::uint32_t i = 0;
-    for (auto _ : state) {
-        cache.offer(wire::Ipv4Address{i % 1024}, wire::MacAddress::local(i % 64),
-                    arp::UpdateSource::kSolicitedReply, now);
-        ++i;
-        now += common::Duration::micros(1);
-    }
-}
-BENCHMARK(BM_ArpCacheOffer);
-
-static void BM_ArpCacheLookupHit(benchmark::State& state) {
-    arp::ArpCache cache(arp::CachePolicy::linux26());
-    const common::SimTime now;
-    for (std::uint32_t i = 0; i < 256; ++i) {
-        cache.offer(wire::Ipv4Address{i}, wire::MacAddress::local(i),
-                    arp::UpdateSource::kSolicitedReply, now);
-    }
-    std::uint32_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(cache.lookup(wire::Ipv4Address{i++ % 256}, now));
-    }
-}
-BENCHMARK(BM_ArpCacheLookupHit);
-
-static void BM_CamLearnLookup(benchmark::State& state) {
-    l2::CamConfig cfg;
-    cfg.capacity = 4096;
-    l2::CamTable cam(cfg);
-    common::SimTime now;
-    std::uint64_t i = 0;
-    for (auto _ : state) {
-        cam.learn(wire::MacAddress::local(i % 2048), static_cast<sim::PortId>(i % 8), now);
-        benchmark::DoNotOptimize(cam.lookup(wire::MacAddress::local((i + 1) % 2048), now));
-        ++i;
-        now += common::Duration::micros(1);
-    }
-}
-BENCHMARK(BM_CamLearnLookup);
-
-// ---------------------------------------------------------------------------
-// End-to-end simulation throughput
-// ---------------------------------------------------------------------------
-
-static void BM_ScenarioEventsPerSecond(benchmark::State& state) {
-    std::uint64_t events = 0;
-    for (auto _ : state) {
-        core::ScenarioConfig cfg;
-        cfg.seed = 1;
-        cfg.host_count = static_cast<std::size_t>(state.range(0));
-        cfg.attack = core::AttackKind::kMitm;
-        cfg.duration = common::Duration::seconds(20);
-        cfg.attack_start = common::Duration::seconds(5);
-        cfg.attack_stop = common::Duration::seconds(15);
-        detect::NullScheme scheme;
-        const auto r = core::ScenarioRunner::run_scheme(cfg, scheme);
-        events += r.events_executed;
-    }
-    state.counters["events/s"] =
-        benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_ScenarioEventsPerSecond)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
-
-static void BM_ScenarioWithSArp(benchmark::State& state) {
-    for (auto _ : state) {
-        core::ScenarioConfig cfg;
-        cfg.seed = 1;
-        cfg.host_count = 8;
-        cfg.attack = core::AttackKind::kMitm;
-        cfg.duration = common::Duration::seconds(20);
-        cfg.attack_start = common::Duration::seconds(5);
-        cfg.attack_stop = common::Duration::seconds(15);
-        auto scheme = detect::make_scheme("s-arp");
-        benchmark::DoNotOptimize(core::ScenarioRunner::run_scheme(cfg, *scheme));
-    }
-}
-BENCHMARK(BM_ScenarioWithSArp)->Unit(benchmark::kMillisecond);

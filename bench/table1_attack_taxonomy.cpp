@@ -7,33 +7,49 @@
 
 #include "core/report.hpp"
 #include "core/taxonomy.hpp"
+#include "exp/bench_main.hpp"
 
 using namespace arpsec;
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
     std::puts("T1 — ARP cache poisoning susceptibility (poisoned? per policy x vector x state)");
     std::puts("Cells: victim cache state when the single poison packet arrives\n");
 
     const auto policies = arp::CachePolicy::all_profiles();
-    const auto vectors = {attack::PoisonVector::kUnsolicitedReply,
-                          attack::PoisonVector::kForgedRequest,
-                          attack::PoisonVector::kGratuitousRequest,
-                          attack::PoisonVector::kGratuitousReply,
-                          attack::PoisonVector::kReplyRace};
-    const auto states = {core::InitialEntry::kAbsent, core::InitialEntry::kFresh,
-                         core::InitialEntry::kAged};
+    const std::vector<attack::PoisonVector> vectors = {
+        attack::PoisonVector::kUnsolicitedReply, attack::PoisonVector::kForgedRequest,
+        attack::PoisonVector::kGratuitousRequest, attack::PoisonVector::kGratuitousReply,
+        attack::PoisonVector::kReplyRace};
+    const std::vector<core::InitialEntry> states = {
+        core::InitialEntry::kAbsent, core::InitialEntry::kFresh, core::InitialEntry::kAged};
 
+    // Every cell is an independent micro-scenario: fan the whole
+    // policy × vector × state grid out at once.
+    std::vector<core::TaxonomyCase> cases;
+    for (const auto& policy : policies) {
+        for (auto vector : vectors) {
+            for (auto state : states) {
+                cases.push_back(core::TaxonomyCase{policy, vector, state, 1});
+            }
+        }
+    }
+    const auto cells = exp::map_cases<bool>(cases, opt.jobs, [](const core::TaxonomyCase& c) {
+        return core::evaluate_poison_case(c).poisoned;
+    });
+    const std::size_t failures = exp::report_case_failures("t1_taxonomy", cells);
+
+    std::size_t i = 0;
     for (const auto& policy : policies) {
         core::TextTable table("policy: " + policy.name);
         table.set_headers({"vector", "entry absent", "entry fresh", "entry aged"});
         std::size_t vulnerable = 0;
         for (auto vector : vectors) {
             std::vector<std::string> row{attack::to_string(vector)};
-            for (auto state : states) {
-                const auto out =
-                    core::evaluate_poison_case(core::TaxonomyCase{policy, vector, state, 1});
-                row.push_back(out.poisoned ? "POISONED" : "safe");
-                if (out.poisoned) ++vulnerable;
+            for (std::size_t s = 0; s < states.size(); ++s) {
+                row.push_back(cells[i].value ? "POISONED" : "safe");
+                if (cells[i].value) ++vulnerable;
+                ++i;
             }
             table.add_row(std::move(row));
         }
@@ -44,5 +60,5 @@ int main() {
     std::puts("Reading: permissive stacks (windows-xp) fall to almost every vector;");
     std::puts("refresh guards (solaris-9) protect only fresh entries; even the strict");
     std::puts("policy loses the reply race — motivating the schemes in T2.");
-    return 0;
+    return exp::finish_bench(failures);
 }

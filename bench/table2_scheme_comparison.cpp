@@ -8,50 +8,58 @@
 #include <cstdio>
 
 #include "core/matrix.hpp"
-#include "core/runner.hpp"
 #include "detect/registry.hpp"
+#include "exp/bench_main.hpp"
 
 using namespace arpsec;
 
-namespace {
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
+    exp::SweepArtifact artifact("table2_scheme_comparison");
 
-core::ScenarioConfig config_for(const std::string& scheme_name) {
-    core::ScenarioConfig cfg;
-    cfg.name = "t2-" + scheme_name;
-    cfg.seed = 42;
-    cfg.host_count = 8;
-    cfg.addressing =
-        scheme_name == "dai" || scheme_name == "lease-monitor"
-            ? core::Addressing::kDhcp
-            : core::Addressing::kStatic;
-    cfg.attack = core::AttackKind::kMitm;
-    cfg.duration = common::Duration::seconds(60);
-    cfg.attack_start = common::Duration::seconds(20);
-    cfg.attack_stop = common::Duration::seconds(50);
-    cfg.repoison_period = common::Duration::seconds(2);
-    return cfg;
-}
+    const auto make_config = [&](const exp::Point& p, core::Addressing addressing) {
+        core::ScenarioConfig cfg;
+        cfg.name = "t2-" + (p.scheme.empty() ? std::string{"none"} : p.scheme);
+        cfg.seed = p.seed;
+        cfg.host_count = 8;
+        cfg.addressing = addressing;
+        cfg.attack = core::AttackKind::kMitm;
+        cfg.repoison_period = common::Duration::seconds(2);
+        if (opt.smoke) exp::apply_smoke(cfg);
+        return cfg;
+    };
 
-}  // namespace
+    exp::SweepSpec t2;
+    t2.name = "t2_mitm_comparison";
+    for (const auto& reg : detect::all_schemes()) t2.schemes.push_back(reg.name);
+    t2.seeds = {42};
+    t2.configure = [&](const exp::Point& p) {
+        return make_config(p, p.scheme == "dai" || p.scheme == "lease-monitor"
+                                  ? core::Addressing::kDhcp
+                                  : core::Addressing::kStatic);
+    };
+    const auto runs = exp::run_bench_sweep(t2, opt);
+    artifact.add(runs);
 
-int main() {
+    // Addressing-matched baseline for the DHCP-habitat schemes.
+    exp::SweepSpec base;
+    base.name = "t2_baseline_dhcp";
+    base.schemes = {"none"};
+    base.seeds = {42};
+    base.configure = [&](const exp::Point& p) { return make_config(p, core::Addressing::kDhcp); };
+    const auto dhcp = exp::run_bench_sweep(base, opt);
+    artifact.add(dhcp);
+
     std::vector<detect::SchemeTraits> traits;
     std::vector<core::ScenarioResult> results;
     core::ScenarioResult baseline;
-
-    for (const auto& reg : detect::all_schemes()) {
-        auto scheme = reg.make();
-        traits.push_back(scheme->traits());
-        core::ScenarioResult r = core::ScenarioRunner::run_scheme(config_for(reg.name), *scheme);
-        if (reg.name == "none") baseline = r;
-        results.push_back(std::move(r));
+    for (const auto& name : t2.schemes) {
+        traits.push_back(detect::make_scheme(name)->traits());
+        const auto& r = runs.at(name, {}).result;
+        if (name == "none") baseline = r;
+        results.push_back(r);
     }
-    // Addressing-matched baseline for the DHCP-habitat schemes.
-    detect::NullScheme none_dhcp;
-    auto dhcp_cfg = config_for("none");
-    dhcp_cfg.addressing = core::Addressing::kDhcp;
-    const core::ScenarioResult baseline_dhcp =
-        core::ScenarioRunner::run_scheme(dhcp_cfg, none_dhcp);
+    const core::ScenarioResult& baseline_dhcp = dhcp.at("none", {}).result;
 
     core::traits_matrix(traits).print();
     std::puts("");
@@ -68,5 +76,5 @@ int main() {
     std::puts("DAI (switch) and S-ARP/TARP (crypto) prevent the MITM; passive");
     std::puts("detectors see it but cannot stop it; port security is blind to it.");
     std::puts("Crypto prevention costs orders of magnitude in resolve latency (T2b).");
-    return 0;
+    return exp::finish_bench(opt, artifact, runs.failures() + dhcp.failures());
 }

@@ -7,33 +7,50 @@
 
 #include "common/stats.hpp"
 #include "core/report.hpp"
-#include "core/runner.hpp"
 #include "detect/registry.hpp"
+#include "exp/bench_main.hpp"
 
 using namespace arpsec;
 
-namespace {
+int main(int argc, char** argv) {
+    const auto opt = exp::parse_bench_args(argc, argv);
+    const std::size_t kSeeds = opt.smoke ? 2 : 10;
+    exp::SweepArtifact artifact("table3_quantitative_summary");
 
-constexpr int kSeeds = 10;
+    // Seed replicates 0..kSeeds-1 map onto disjoint seed ranges per kind:
+    // attacked runs use seeds 100+, benign churn runs 200+ (the same
+    // numbering the paper's harness used).
+    exp::SweepSpec t3;
+    t3.name = "t3_multi_seed";
+    for (const auto& reg : detect::all_schemes()) t3.schemes.push_back(reg.name);
+    t3.axes = {{"kind", {"attack", "churn"}}};
+    t3.seeds.clear();
+    for (std::size_t s = 0; s < kSeeds; ++s) t3.seeds.push_back(s);
+    t3.configure = [&](const exp::Point& p) {
+        core::ScenarioConfig cfg;
+        cfg.host_count = 8;
+        cfg.addressing = p.scheme == "dai" || p.scheme == "lease-monitor"
+                             ? core::Addressing::kDhcp
+                             : core::Addressing::kStatic;
+        cfg.repoison_period = common::Duration::seconds(2);
+        if (opt.smoke) exp::apply_smoke(cfg);
+        if (p.at("kind") == "attack") {
+            cfg.seed = 100 + p.seed;
+            cfg.attack = core::AttackKind::kMitm;
+        } else {
+            cfg.seed = 200 + p.seed;
+            cfg.attack = core::AttackKind::kNone;
+            if (cfg.addressing == core::Addressing::kDhcp) {
+                cfg.churn.dhcp_recycles = 2;
+            } else {
+                cfg.churn.nic_swap = true;
+            }
+        }
+        return cfg;
+    };
+    const auto runs = exp::run_bench_sweep(t3, opt);
+    artifact.add(runs);
 
-core::ScenarioConfig base_config(const std::string& scheme_name, std::uint64_t seed) {
-    core::ScenarioConfig cfg;
-    cfg.seed = seed;
-    cfg.host_count = 8;
-    cfg.addressing =
-        scheme_name == "dai" || scheme_name == "lease-monitor"
-            ? core::Addressing::kDhcp
-            : core::Addressing::kStatic;
-    cfg.duration = common::Duration::seconds(60);
-    cfg.attack_start = common::Duration::seconds(20);
-    cfg.attack_stop = common::Duration::seconds(50);
-    cfg.repoison_period = common::Duration::seconds(2);
-    return cfg;
-}
-
-}  // namespace
-
-int main() {
     core::TextTable table(
         "T3 — Quantitative summary, " + std::to_string(kSeeds) +
         " seeds (MITM runs for efficacy/detection; benign churn runs for FPs)");
@@ -41,51 +58,33 @@ int main() {
                        "FP/churn-run", "resolve p50 (us)", "resolve sd",
                        "poisoned at end"});
 
-    for (const auto& reg : detect::all_schemes()) {
-        int successes = 0;
-        int detected = 0;
-        int poisoned = 0;
-        common::Summary latencies_ms;
+    for (const auto& name : t3.schemes) {
+        const auto& attack = runs.aggregate_at(name, {"attack"});
+        const auto& churn = runs.aggregate_at(name, {"churn"});
+        const auto* latency = attack.measure("detection_latency_ms");
+        const auto* success = attack.measure("attack_succeeded");
+        const auto* detected = attack.measure("detected");
+        const auto* poisoned = attack.measure("poisoned_at_end");
+        const auto* fps = churn.measure("false_positives");
+
+        // Resolution latency is pooled over all attacked runs' samples, not
+        // summarized per run, matching the single-threaded original.
         common::Summary resolve_us;
-        double fp_total = 0;
-
-        for (int s = 0; s < kSeeds; ++s) {
-            // Attack run.
-            auto scheme = reg.make();
-            auto cfg = base_config(reg.name, 100 + static_cast<std::uint64_t>(s));
-            cfg.attack = core::AttackKind::kMitm;
-            const auto r = core::ScenarioRunner::run_scheme(cfg, *scheme);
-            if (r.attack_succeeded) ++successes;
-            if (r.alerts.true_positives > 0) ++detected;
-            if (r.victim_poisoned_at_end) ++poisoned;
-            if (r.alerts.detection_latency) {
-                latencies_ms.add(r.alerts.detection_latency->to_millis());
-            }
-            resolve_us.merge(r.resolution_latency_us);
-
-            // Benign churn run (the false-positive stressor).
-            auto scheme2 = reg.make();
-            auto cfg2 = base_config(reg.name, 200 + static_cast<std::uint64_t>(s));
-            cfg2.attack = core::AttackKind::kNone;
-            if (cfg2.addressing == core::Addressing::kDhcp) {
-                cfg2.churn.dhcp_recycles = 2;
-            } else {
-                cfg2.churn.nic_swap = true;
-            }
-            const auto rb = core::ScenarioRunner::run_scheme(cfg2, *scheme2);
-            fp_total += static_cast<double>(rb.alerts.false_positives);
+        for (std::size_t s = 0; s < kSeeds; ++s) {
+            resolve_us.merge(runs.at(name, {"attack"}, s).result.resolution_latency_us);
         }
 
-        table.add_row({reg.name,
-                       core::fmt_percent(static_cast<double>(successes) / kSeeds),
-                       core::fmt_percent(static_cast<double>(detected) / kSeeds),
-                       latencies_ms.empty() ? "n/a"
-                                            : core::fmt_double(latencies_ms.median(), 1) + " ms",
-                       core::fmt_double(fp_total / kSeeds, 1),
+        table.add_row({name,
+                       core::fmt_percent(success ? success->mean() : 0.0),
+                       core::fmt_percent(detected ? detected->mean() : 0.0),
+                       latency == nullptr || latency->empty()
+                           ? "n/a"
+                           : core::fmt_double(latency->median(), 1) + " ms",
+                       core::fmt_double(fps ? fps->mean() : 0.0, 1),
                        resolve_us.empty() ? "n/a" : core::fmt_double(resolve_us.median(), 1),
                        resolve_us.count() < 2 ? "n/a"
                                               : core::fmt_double(resolve_us.stddev(), 1),
-                       core::fmt_percent(static_cast<double>(poisoned) / kSeeds)});
+                       core::fmt_percent(poisoned ? poisoned->mean() : 0.0)});
     }
 
     table.print();
@@ -93,5 +92,5 @@ int main() {
     std::puts("Reading: prevention schemes hold attack success at 0% across seeds;");
     std::puts("arpwatch/snort detect everything but false-positive on every churn");
     std::puts("run, while active-probe and the probe-based host schemes stay quiet.");
-    return 0;
+    return exp::finish_bench(opt, artifact, runs.failures());
 }

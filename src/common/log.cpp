@@ -1,11 +1,20 @@
 #include "common/log.hpp"
 
+#include <mutex>
+
 namespace arpsec::common {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
 std::FILE* Log::sink_ = nullptr;
 
 namespace {
+
+/// Serializes sink reconfiguration against in-flight writes from sweep
+/// workers; also keeps each log line contiguous in the output.
+std::mutex& sink_mutex() {
+    static std::mutex m;
+    return m;
+}
 
 const char* level_name(LogLevel l) {
     switch (l) {
@@ -21,13 +30,18 @@ const char* level_name(LogLevel l) {
 
 }  // namespace
 
-void Log::set_level(LogLevel level) { level_ = level; }
-LogLevel Log::level() { return level_; }
-void Log::set_sink(std::FILE* sink) { sink_ = sink; }
+void Log::set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+LogLevel Log::level() { return level_.load(std::memory_order_relaxed); }
+
+void Log::set_sink(std::FILE* sink) {
+    const std::lock_guard<std::mutex> lock{sink_mutex()};
+    sink_ = sink;
+}
 
 void Log::write(LogLevel level, SimTime now, std::string_view component,
                 std::string_view message) {
     if (!enabled(level)) return;
+    const std::lock_guard<std::mutex> lock{sink_mutex()};
     std::FILE* out = sink_ != nullptr ? sink_ : stderr;
     std::fprintf(out, "[%12.6fs] %-5s %.*s: %.*s\n", now.to_seconds(), level_name(level),
                  static_cast<int>(component.size()), component.data(),

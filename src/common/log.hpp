@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -10,8 +11,11 @@ namespace arpsec::common {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide log configuration. Simulations are single-threaded, so no
-/// synchronization is needed; output goes to stderr by default.
+/// Process-wide log configuration. The simulator itself is single-threaded,
+/// but the sweep engine (src/exp/) runs many independent scenarios on a
+/// worker pool, so the sink is mutex-guarded (one line is written atomically,
+/// never interleaved) and the level is an atomic; output goes to stderr by
+/// default.
 class Log {
 public:
     static void set_level(LogLevel level);
@@ -22,11 +26,13 @@ public:
     static void write(LogLevel level, SimTime now, std::string_view component,
                       std::string_view message);
 
-    static bool enabled(LogLevel level) { return level >= level_; }
+    static bool enabled(LogLevel level) {
+        return level >= level_.load(std::memory_order_relaxed);
+    }
 
 private:
-    static LogLevel level_;
-    static std::FILE* sink_;
+    static std::atomic<LogLevel> level_;
+    static std::FILE* sink_;  // guarded by the sink mutex in log.cpp
 };
 
 }  // namespace arpsec::common

@@ -1,5 +1,6 @@
 #include "common/time.hpp"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
@@ -30,6 +31,12 @@ std::string SimTime::to_string() const {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
     return buf;
+}
+
+std::int64_t Stopwatch::now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
 }  // namespace arpsec::common

@@ -64,4 +64,24 @@ private:
     std::int64_t ns_ = 0;
 };
 
+/// Wall-clock stopwatch for benchmark timing. common/time.* is the one
+/// module allowed to touch the host clock (see the sim-determinism lint
+/// rule); simulation code measures time exclusively in SimTime.
+class Stopwatch {
+public:
+    Stopwatch() : start_ns_(now_ns()) {}
+
+    void restart() { start_ns_ = now_ns(); }
+
+    [[nodiscard]] std::int64_t elapsed_nanos() const { return now_ns() - start_ns_; }
+    [[nodiscard]] double elapsed_seconds() const {
+        return static_cast<double>(elapsed_nanos()) / 1e9;
+    }
+
+private:
+    static std::int64_t now_ns();
+
+    std::int64_t start_ns_ = 0;
+};
+
 }  // namespace arpsec::common

@@ -1,0 +1,43 @@
+#include "exp/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace arpsec::exp {
+
+std::vector<std::string> run_indexed(std::size_t n, std::size_t jobs,
+                                     const std::function<void(std::size_t)>& body) {
+    std::vector<std::string> errors(n);
+    const auto run_one = [&](std::size_t i) {
+        try {
+            body(i);
+        } catch (const std::exception& e) {
+            errors[i] = e.what()[0] != '\0' ? e.what() : "exception";
+        } catch (...) {
+            errors[i] = "unknown exception";
+        }
+    };
+
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i) run_one(i);
+        return errors;
+    }
+
+    std::atomic<std::size_t> next{0};
+    const std::size_t workers = std::min(jobs, n);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+                run_one(i);
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    return errors;
+}
+
+}  // namespace arpsec::exp

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace arpsec::exp {
+
+/// Outcome slot of one task in a parallel map: either a value or the
+/// message of the exception that aborted the task.
+template <typename T>
+struct Outcome {
+    T value{};
+    bool failed = false;
+    std::string error;
+};
+
+/// Runs body(i) for every i in [0, n) on a pool of `jobs` std::thread
+/// workers (inline when jobs <= 1), capturing any exception per index.
+/// Returns per-index error strings ("" = success) in index order.
+///
+/// Workers pull indices from a shared atomic counter, so scheduling is
+/// dynamic — but the output is positionally stable: as long as body(i) is
+/// deterministic and touches no state shared across indices, results are
+/// byte-identical for every job count. That independence is what the
+/// no-threads-in-sim lint rule protects: each index builds its own
+/// Network/Rng from its seed, and nothing below src/exp/ may spawn threads.
+std::vector<std::string> run_indexed(std::size_t n, std::size_t jobs,
+                                     const std::function<void(std::size_t)>& body);
+
+/// Deterministic parallel map: out[i] = fn(i). T must be default- and
+/// move-constructible; a throwing fn marks only its own slot failed.
+template <typename T, typename Fn>
+std::vector<Outcome<T>> map_indexed(std::size_t n, std::size_t jobs, Fn&& fn) {
+    std::vector<Outcome<T>> out(n);
+    auto errors = run_indexed(n, jobs, [&](std::size_t i) { out[i].value = fn(i); });
+    for (std::size_t i = 0; i < n; ++i) {
+        if (errors[i].empty()) continue;
+        out[i].failed = true;
+        out[i].error = std::move(errors[i]);
+    }
+    return out;
+}
+
+/// Declarative case map for benches whose points are not ScenarioRunner
+/// sweeps (taxonomy cells, custom topologies): out[i] = fn(cases[i]).
+template <typename T, typename Case, typename Fn>
+std::vector<Outcome<T>> map_cases(const std::vector<Case>& cases, std::size_t jobs,
+                                  Fn&& fn) {
+    return map_indexed<T>(cases.size(), jobs, [&](std::size_t i) { return fn(cases[i]); });
+}
+
+/// Row-major cross product (a outer, b inner) — the declarative
+/// replacement for the benches' hand-rolled nested loops.
+template <typename A, typename B>
+std::vector<std::pair<A, B>> cross(const std::vector<A>& as, const std::vector<B>& bs) {
+    std::vector<std::pair<A, B>> out;
+    out.reserve(as.size() * bs.size());
+    for (const auto& a : as) {
+        for (const auto& b : bs) out.emplace_back(a, b);
+    }
+    return out;
+}
+
+}  // namespace arpsec::exp

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/scenario.hpp"
+#include "detect/scheme.hpp"
+#include "telemetry/json.hpp"
+
+namespace arpsec::exp {
+
+/// One named sweep parameter: an ordered list of printable values. The
+/// engine enumerates the cross product of all axes; the spec's configure
+/// function gives each value meaning.
+struct Axis {
+    std::string name;
+    std::vector<std::string> values;
+};
+
+/// One enumerated grid point: scheme × axis values × seed replicate.
+struct Point {
+    std::size_t index = 0;      // dense position in enumeration order
+    std::string scheme;         // from SweepSpec::schemes ("" when unused)
+    std::uint64_t seed = 1;
+    std::size_t replicate = 0;  // position in SweepSpec::seeds
+    std::vector<std::pair<std::string, std::string>> axis_values;  // axis order
+
+    /// Value of the named axis; throws std::out_of_range on unknown names
+    /// (a spec bug — the executor reports the point as failed).
+    [[nodiscard]] const std::string& at(std::string_view axis) const;
+    [[nodiscard]] double at_double(std::string_view axis) const;
+    [[nodiscard]] std::int64_t at_int(std::string_view axis) const;
+};
+
+/// Declarative description of a whole table/figure: scheme set × named
+/// parameter axes × seed replicates, each point materializing one
+/// ScenarioConfig. Enumeration order is schemes (outer), axes in
+/// declaration order, seeds (inner) — the row order of the paper's tables.
+struct SweepSpec {
+    std::string name;
+    std::vector<std::string> schemes;  // empty -> one pass with scheme ""
+    std::vector<Axis> axes;
+    std::vector<std::uint64_t> seeds{1};
+
+    /// Pure point -> config. Called from worker threads: it must not touch
+    /// shared mutable state. The config's seed is whatever this sets
+    /// (typically `point.seed`, possibly offset per axis value).
+    std::function<core::ScenarioConfig(const Point&)> configure;
+
+    /// Optional scheme factory override for non-registry instances (e.g.
+    /// TARP with short tickets). Default: detect::make_scheme(point.scheme),
+    /// or NullScheme when the spec has no scheme set.
+    std::function<std::unique_ptr<detect::Scheme>(const Point&)> factory;
+
+    [[nodiscard]] std::size_t points_per_scheme() const;  // axis product × seeds
+    [[nodiscard]] std::size_t point_count() const;
+    [[nodiscard]] std::vector<Point> enumerate() const;
+
+    [[nodiscard]] telemetry::Json to_json() const;
+};
+
+/// One executed sweep point.
+struct PointRun {
+    Point point;
+    bool failed = false;
+    std::string error;           // set when failed
+    core::ScenarioResult result; // valid when !failed
+    telemetry::Json run;         // core::run_json(config+result+metrics), ditto
+};
+
+/// Per-(scheme × axis point) aggregation of the standard scalar measures
+/// over the seed replicates, via common::Summary.
+struct Aggregate {
+    std::string scheme;
+    std::vector<std::pair<std::string, std::string>> axis_values;
+    std::size_t replicates = 0;  // successful runs aggregated
+    std::vector<std::pair<std::string, common::Summary>> measures;
+
+    /// Summary for one measure; nullptr when it never occurred.
+    /// detection_latency_ms exists only for runs that detected, so its
+    /// count may be below `replicates`.
+    [[nodiscard]] const common::Summary* measure(std::string_view name) const;
+};
+
+/// The scalar measures extracted from every successful run for replicate
+/// aggregation, in artifact order.
+[[nodiscard]] std::vector<std::pair<std::string, double>> standard_measures(
+    const core::ScenarioResult& r);
+
+/// All points of one executed sweep, in enumeration order (independent of
+/// the worker count), plus the replicate aggregates.
+struct SweepOutcome {
+    SweepSpec spec;  // copied: drives lookups and the artifact spec block
+    std::vector<PointRun> points;
+    std::vector<Aggregate> aggregates;
+
+    /// Point lookup by (scheme, axis values in axis order, replicate).
+    [[nodiscard]] const PointRun& at(std::string_view scheme,
+                                     const std::vector<std::string>& values,
+                                     std::size_t replicate = 0) const;
+    [[nodiscard]] const Aggregate& aggregate_at(
+        std::string_view scheme, const std::vector<std::string>& values) const;
+
+    [[nodiscard]] std::size_t failures() const;
+
+    /// {"spec": ..., "points": [...], "aggregates": [...]} — one entry of a
+    /// SweepArtifact's "sweeps" array.
+    [[nodiscard]] telemetry::Json to_json() const;
+};
+
+struct SweepOptions {
+    std::size_t jobs = 1;
+};
+
+/// Runs every point of `spec` — one independent ScenarioRunner + scheme
+/// instance per point — fanned out over `jobs` workers. Results are
+/// collected by point index, so tables and artifacts are byte-identical
+/// for --jobs 1 and --jobs N (the simulator itself stays single-threaded
+/// and deterministic per seed). A point whose worker throws is marked
+/// failed; the sweep completes.
+[[nodiscard]] SweepOutcome run_sweep(const SweepSpec& spec, const SweepOptions& opt = {});
+
+/// Machine-readable envelope accumulating one or more sweeps from a bench
+/// or the CLI: arpsec.sweep-artifact.v1.
+class SweepArtifact {
+public:
+    static constexpr const char* kSchema = "arpsec.sweep-artifact.v1";
+
+    explicit SweepArtifact(std::string producer) : producer_(std::move(producer)) {}
+
+    void set_meta(const std::string& key, telemetry::Json value);
+    void add(const SweepOutcome& outcome) { sweeps_.push_back(outcome.to_json()); }
+
+    [[nodiscard]] std::size_t sweep_count() const { return sweeps_.size(); }
+
+    [[nodiscard]] telemetry::Json to_json() const;
+    /// Writes the artifact (pretty-printed) to `path`; false on I/O error.
+    bool write(const std::string& path) const;
+
+private:
+    std::string producer_;
+    telemetry::Json meta_ = telemetry::Json::object();
+    telemetry::Json sweeps_ = telemetry::Json::array();
+};
+
+/// "mean ±sd" cell for aggregate tables ("n/a" when empty; plain mean when
+/// fewer than two samples).
+[[nodiscard]] std::string fmt_mean_sd(const common::Summary* s, int precision = 1);
+
+}  // namespace arpsec::exp

@@ -79,6 +79,23 @@ constexpr std::array<std::string_view, 14> kDeterminismBans = {
     "std::time",
 };
 
+/// Concurrency headers whose inclusion forks the simulator's single-threaded
+/// world model. Only the sweep executor (src/exp/) may spawn threads, and
+/// only the logger (common/log.*) may lock — everything else must stay
+/// single-threaded so a per-seed run is deterministic.
+constexpr std::array<std::string_view, 5> kThreadHeaderBans = {
+    "thread", "mutex", "shared_mutex", "condition_variable", "future",
+};
+
+/// Spellings that start concurrency without the telltale include (the header
+/// may arrive transitively).
+constexpr std::array<std::string_view, 4> kThreadTokenBans = {
+    "std::thread",
+    "std::jthread",
+    "std::async",
+    "std::mutex",
+};
+
 /// Parser entry points returning common::Expected whose result must never be
 /// discarded: a dropped parse failure silently corrupts reproduced figures.
 constexpr std::array<std::string_view, 9> kExpectedEntryPoints = {
@@ -111,6 +128,9 @@ const std::map<std::string, std::set<std::string>, std::less<>>& layering() {
         {"core",
          {"core", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry", "wire",
           "common"}},
+        {"exp",
+         {"exp", "core", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry",
+          "wire", "common"}},
         {"lint", {"lint", "telemetry", "common"}},
     };
     return kAllowed;
@@ -172,6 +192,37 @@ void check_determinism(const FileContext& ctx, std::vector<Violation>& out) {
                                "the host clock)",
                            std::string{trim(ctx.raw_lines[i])}});
         }
+    }
+}
+
+void check_no_threads(const FileContext& ctx, std::vector<Violation>& out) {
+    if (ctx.module == "exp") return;
+    if (ctx.path.find("common/log.") != std::string_view::npos) return;
+    for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+        const std::string_view code = ctx.code_lines[i];
+        std::string offender;
+        const std::string_view trimmed = trim(code);
+        if (starts_with(trimmed, "#include")) {
+            for (const auto hdr : kThreadHeaderBans) {
+                const std::string needle = "<" + std::string{hdr} + ">";
+                if (trimmed.find(needle) != std::string_view::npos) offender = needle;
+            }
+        }
+        if (offender.empty()) {
+            for (const auto tok : kThreadTokenBans) {
+                if (contains_token(code, tok)) {
+                    offender = std::string{tok};
+                    break;
+                }
+            }
+        }
+        if (offender.empty()) continue;
+        out.push_back({std::string{ctx.path}, i + 1, "no-threads-in-sim",
+                       "'" + offender +
+                           "' introduces concurrency outside the sweep executor; the "
+                           "simulation must stay single-threaded per seed (threads only in "
+                           "src/exp/, locking only in common/log.*)",
+                       std::string{trim(ctx.raw_lines[i])}});
     }
 }
 
@@ -274,6 +325,8 @@ const std::vector<RuleInfo>& rule_catalog() {
     static const std::vector<RuleInfo> kRules = {
         {"sim-determinism",
          "no wall-clock / global PRNG identifiers outside common/time.*"},
+        {"no-threads-in-sim",
+         "concurrency only in src/exp/ (threads) and common/log.* (locking)"},
         {"discarded-expected",
          "results of Expected-returning parser entry points must be consumed"},
         {"naked-new", "no raw new/malloc; ownership must be typed"},
@@ -400,6 +453,7 @@ std::vector<Violation> Linter::lint_source(std::string_view path,
 
     std::vector<Violation> found;
     check_determinism(ctx, found);
+    check_no_threads(ctx, found);
     check_discarded_expected(ctx, found);
     check_naked_new(ctx, found);
     check_assert_in_parser(ctx, found);

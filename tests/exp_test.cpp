@@ -1,0 +1,285 @@
+// Tests for the sweep engine (src/exp): the deterministic parallel executor,
+// grid enumeration, replicate aggregation math, the byte-identity guarantee
+// across worker counts, and failure isolation (a throwing point must not
+// take the sweep down).
+
+#include "exp/executor.hpp"
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/scenario.hpp"
+
+namespace arpsec::exp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// executor
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, InlineAndThreadedRunsAgree) {
+    const auto square = [](std::size_t i) { return i * i; };
+    const auto serial = map_indexed<std::size_t>(64, 1, square);
+    const auto parallel = map_indexed<std::size_t>(64, 4, square);
+    ASSERT_EQ(serial.size(), 64u);
+    ASSERT_EQ(parallel.size(), 64u);
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_FALSE(serial[i].failed);
+        EXPECT_EQ(serial[i].value, i * i);
+        EXPECT_EQ(parallel[i].value, serial[i].value);
+    }
+}
+
+TEST(ExecutorTest, ExceptionsAreCapturedPerIndex) {
+    const auto errors = run_indexed(5, 3, [](std::size_t i) {
+        if (i == 2) throw std::runtime_error("boom 2");
+    });
+    ASSERT_EQ(errors.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        if (i == 2) {
+            EXPECT_EQ(errors[i], "boom 2");
+        } else {
+            EXPECT_TRUE(errors[i].empty()) << "index " << i;
+        }
+    }
+}
+
+TEST(ExecutorTest, MapCasesKeepsCaseOrder) {
+    const std::vector<std::string> cases = {"a", "b", "c"};
+    const auto outs =
+        map_cases<std::string>(cases, 2, [](const std::string& c) { return c + "!"; });
+    ASSERT_EQ(outs.size(), 3u);
+    EXPECT_EQ(outs[0].value, "a!");
+    EXPECT_EQ(outs[1].value, "b!");
+    EXPECT_EQ(outs[2].value, "c!");
+}
+
+TEST(ExecutorTest, CrossIsRowMajor) {
+    const auto grid = cross<int, char>({1, 2}, {'x', 'y', 'z'});
+    ASSERT_EQ(grid.size(), 6u);
+    EXPECT_EQ(grid[0], (std::pair<int, char>{1, 'x'}));
+    EXPECT_EQ(grid[2], (std::pair<int, char>{1, 'z'}));
+    EXPECT_EQ(grid[3], (std::pair<int, char>{2, 'x'}));
+    EXPECT_EQ(grid[5], (std::pair<int, char>{2, 'z'}));
+}
+
+// ---------------------------------------------------------------------------
+// enumeration
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpecTest, EnumeratesSchemesAxesSeedsInOrder) {
+    SweepSpec spec;
+    spec.name = "order";
+    spec.schemes = {"a", "b"};
+    spec.axes = {{"x", {"1", "2"}}, {"y", {"p", "q", "r"}}};
+    spec.seeds = {10, 20};
+
+    EXPECT_EQ(spec.points_per_scheme(), 2u * 3u * 2u);
+    EXPECT_EQ(spec.point_count(), 24u);
+
+    const auto points = spec.enumerate();
+    ASSERT_EQ(points.size(), 24u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+    }
+    // Seeds vary fastest, then the last axis, then the first, then schemes.
+    EXPECT_EQ(points[0].scheme, "a");
+    EXPECT_EQ(points[0].at("x"), "1");
+    EXPECT_EQ(points[0].at("y"), "p");
+    EXPECT_EQ(points[0].seed, 10u);
+    EXPECT_EQ(points[0].replicate, 0u);
+
+    EXPECT_EQ(points[1].seed, 20u);
+    EXPECT_EQ(points[1].replicate, 1u);
+    EXPECT_EQ(points[1].at("y"), "p");
+
+    EXPECT_EQ(points[2].at("y"), "q");
+    EXPECT_EQ(points[2].seed, 10u);
+
+    EXPECT_EQ(points[6].at("x"), "2");
+    EXPECT_EQ(points[6].at("y"), "p");
+
+    EXPECT_EQ(points[12].scheme, "b");
+    EXPECT_EQ(points[12].at("x"), "1");
+    EXPECT_EQ(points[12].at("y"), "p");
+    EXPECT_EQ(points[12].seed, 10u);
+}
+
+TEST(SweepSpecTest, EmptySchemeAndSeedListsFallBackToOnePass) {
+    SweepSpec spec;
+    spec.name = "minimal";
+    spec.schemes = {};
+    spec.seeds = {};
+    EXPECT_EQ(spec.point_count(), 1u);
+    const auto points = spec.enumerate();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].scheme, "");
+    EXPECT_EQ(points[0].seed, 1u);
+}
+
+TEST(SweepSpecTest, PointAxisAccessorsParseAndThrow) {
+    SweepSpec spec;
+    spec.axes = {{"ratio", {"0.5"}}, {"hosts", {"16"}}};
+    const auto points = spec.enumerate();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].at("hosts"), "16");
+    EXPECT_EQ(points[0].at_int("hosts"), 16);
+    EXPECT_DOUBLE_EQ(points[0].at_double("ratio"), 0.5);
+    EXPECT_THROW((void)points[0].at("nope"), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// scenario sweeps
+// ---------------------------------------------------------------------------
+
+core::ScenarioConfig tiny_config(const Point& p, std::size_t hosts = 2) {
+    core::ScenarioConfig cfg;
+    cfg.name = "exp-test";
+    cfg.seed = p.seed;
+    cfg.host_count = hosts;
+    cfg.attack = core::AttackKind::kMitm;
+    cfg.duration = common::Duration::seconds(8);
+    cfg.attack_start = common::Duration::seconds(2);
+    cfg.attack_stop = common::Duration::seconds(6);
+    return cfg;
+}
+
+TEST(SweepRunTest, AggregatesReplicatesWithSummaryMath) {
+    SweepSpec spec;
+    spec.name = "agg";
+    spec.schemes = {"none"};
+    spec.seeds = {1, 2, 3};
+    spec.configure = [](const Point& p) { return tiny_config(p); };
+
+    const auto outcome = run_sweep(spec, {.jobs = 1});
+    ASSERT_EQ(outcome.points.size(), 3u);
+    EXPECT_EQ(outcome.failures(), 0u);
+    ASSERT_EQ(outcome.aggregates.size(), 1u);
+
+    const Aggregate& agg = outcome.aggregate_at("none", {});
+    EXPECT_EQ(agg.replicates, 3u);
+
+    // The aggregate's Summary must match the per-point results it claims to
+    // summarize: recompute the mean by hand.
+    const common::Summary* events = agg.measure("events_executed");
+    ASSERT_NE(events, nullptr);
+    EXPECT_EQ(events->count(), 3u);
+    double total = 0.0;
+    for (std::size_t r = 0; r < 3; ++r) {
+        total += static_cast<double>(outcome.at("none", {}, r).result.events_executed);
+    }
+    EXPECT_DOUBLE_EQ(events->mean(), total / 3.0);
+
+    const common::Summary* succeeded = agg.measure("attack_succeeded");
+    ASSERT_NE(succeeded, nullptr);
+    EXPECT_GE(succeeded->mean(), 0.0);
+    EXPECT_LE(succeeded->mean(), 1.0);
+    EXPECT_EQ(agg.measure("definitely-not-a-measure"), nullptr);
+}
+
+TEST(SweepRunTest, ArtifactIsByteIdenticalAcrossJobCounts) {
+    SweepSpec spec;
+    spec.name = "determinism";
+    spec.schemes = {"none", "arpwatch"};
+    spec.axes = {{"hosts", {"2", "3"}}};
+    spec.seeds = {1, 2};
+    spec.configure = [](const Point& p) {
+        return tiny_config(p, static_cast<std::size_t>(p.at_int("hosts")));
+    };
+
+    const auto serial = run_sweep(spec, {.jobs = 1});
+    const auto parallel = run_sweep(spec, {.jobs = 4});
+    ASSERT_EQ(serial.points.size(), 8u);
+    EXPECT_EQ(serial.failures(), 0u);
+    EXPECT_EQ(parallel.failures(), 0u);
+
+    SweepArtifact a{"exp_test"};
+    a.add(serial);
+    SweepArtifact b{"exp_test"};
+    b.add(parallel);
+    EXPECT_EQ(a.to_json().dump(2), b.to_json().dump(2));
+}
+
+TEST(SweepRunTest, ThrowingPointIsIsolatedAndSweepCompletes) {
+    SweepSpec spec;
+    spec.name = "partial-failure";
+    spec.schemes = {"none"};
+    spec.seeds = {1, 2, 3};
+    spec.configure = [](const Point& p) {
+        if (p.seed == 2) throw std::runtime_error("configure rejected seed 2");
+        return tiny_config(p);
+    };
+
+    const auto outcome = run_sweep(spec, {.jobs = 2});
+    ASSERT_EQ(outcome.points.size(), 3u);
+    EXPECT_EQ(outcome.failures(), 1u);
+
+    const PointRun& bad = outcome.at("none", {}, 1);
+    EXPECT_TRUE(bad.failed);
+    EXPECT_EQ(bad.error, "configure rejected seed 2");
+    EXPECT_FALSE(outcome.at("none", {}, 0).failed);
+    EXPECT_FALSE(outcome.at("none", {}, 2).failed);
+
+    // Aggregates only count the survivors.
+    const Aggregate& agg = outcome.aggregate_at("none", {});
+    EXPECT_EQ(agg.replicates, 2u);
+    const common::Summary* events = agg.measure("events_executed");
+    ASSERT_NE(events, nullptr);
+    EXPECT_EQ(events->count(), 2u);
+}
+
+TEST(SweepRunTest, UnknownSchemeFailsEveryPointButReturns) {
+    SweepSpec spec;
+    spec.name = "unknown-scheme";
+    spec.schemes = {"no-such-scheme"};
+    spec.seeds = {1, 2};
+    spec.configure = [](const Point& p) { return tiny_config(p); };
+
+    const auto outcome = run_sweep(spec, {.jobs = 2});
+    ASSERT_EQ(outcome.points.size(), 2u);
+    EXPECT_EQ(outcome.failures(), 2u);
+    for (const auto& pr : outcome.points) {
+        EXPECT_TRUE(pr.failed);
+        EXPECT_FALSE(pr.error.empty());
+    }
+    EXPECT_EQ(outcome.aggregate_at("no-such-scheme", {}).replicates, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// artifact envelope
+// ---------------------------------------------------------------------------
+
+TEST(SweepArtifactTest, EnvelopeShapeRoundTrips) {
+    SweepSpec spec;
+    spec.name = "envelope";
+    spec.schemes = {"none"};
+    spec.configure = [](const Point& p) { return tiny_config(p); };
+    const auto outcome = run_sweep(spec);
+
+    SweepArtifact artifact{"exp_test"};
+    artifact.set_meta("attack", telemetry::Json{"mitm"});
+    artifact.add(outcome);
+    EXPECT_EQ(artifact.sweep_count(), 1u);
+
+    const auto parsed = telemetry::Json::parse(artifact.to_json().dump(2));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("schema")->as_string(), SweepArtifact::kSchema);
+    EXPECT_EQ(parsed->find("producer")->as_string(), "exp_test");
+    EXPECT_EQ(parsed->find("meta")->find("attack")->as_string(), "mitm");
+
+    const auto* sweeps = parsed->find("sweeps");
+    ASSERT_NE(sweeps, nullptr);
+    ASSERT_EQ(sweeps->size(), 1u);
+    const auto& entry = sweeps->at(0);
+    EXPECT_EQ(entry.find("spec")->find("name")->as_string(), "envelope");
+    EXPECT_EQ(entry.find("points")->size(), 1u);
+    EXPECT_EQ(entry.find("aggregates")->size(), 1u);
+}
+
+}  // namespace
+}  // namespace arpsec::exp

@@ -61,6 +61,49 @@ TEST(LintDeterminismTest, TokenBoundariesRespected) {
 }
 
 // ---------------------------------------------------------------------------
+// no-threads-in-sim
+// ---------------------------------------------------------------------------
+
+TEST(LintNoThreadsTest, FlagsThreadHeadersOutsideExp) {
+    const auto vs = run("src/sim/bad.cpp", "#include <thread>\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "no-threads-in-sim");
+    EXPECT_EQ(vs[0].line, 1u);
+    EXPECT_TRUE(has_rule(run("src/detect/bad.cpp", "#include <mutex>\n"),
+                         "no-threads-in-sim"));
+    EXPECT_TRUE(has_rule(run("bench/bad.cpp", "#include <future>\n"),
+                         "no-threads-in-sim"));
+}
+
+TEST(LintNoThreadsTest, FlagsConcurrencySpellings) {
+    EXPECT_TRUE(has_rule(run("src/host/bad.cpp", "std::thread t{work};\n"),
+                         "no-threads-in-sim"));
+    EXPECT_TRUE(has_rule(run("tools/bad.cpp", "auto f = std::async(work);\n"),
+                         "no-threads-in-sim"));
+    EXPECT_TRUE(has_rule(run("src/core/bad.cpp", "std::mutex m;\n"),
+                         "no-threads-in-sim"));
+}
+
+TEST(LintNoThreadsTest, AllowsSweepExecutorAndLogger) {
+    EXPECT_TRUE(run("src/exp/executor.cpp",
+                    "#include <thread>\n"
+                    "std::thread t{work};\n")
+                    .empty());
+    EXPECT_TRUE(run("src/common/log.cpp",
+                    "#include <mutex>\n"
+                    "std::mutex m;\n")
+                    .empty());
+}
+
+TEST(LintNoThreadsTest, IgnoresProseAndLookalikes) {
+    EXPECT_TRUE(run("src/sim/ok.cpp",
+                    "// a mutex would deadlock here; threads are banned\n"
+                    "int single_threaded = 1;\n"
+                    "#include <cstdio>\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
 // discarded-expected
 // ---------------------------------------------------------------------------
 
@@ -205,9 +248,10 @@ TEST(LintReportTest, CleanFileProducesNoViolations) {
 
 TEST(LintReportTest, CatalogCoversEveryEmittedRule) {
     const auto& catalog = rule_catalog();
-    EXPECT_EQ(catalog.size(), 6u);
+    EXPECT_EQ(catalog.size(), 7u);
     const auto vs = run("src/wire/bad.hpp",
                         "#include \"core/runner.hpp\"\n"
+                        "#include <thread>\n"
                         "auto t = std::chrono::system_clock::now();\n"
                         "auto* p = new int;\n"
                         "assert(true);\n"

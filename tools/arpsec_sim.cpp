@@ -6,17 +6,19 @@
 //   $ arpsec_sim --list
 //   $ arpsec_sim --scheme arpwatch --attack mitm --hosts 8 --seed 42
 //   $ arpsec_sim --scheme dai --addressing dhcp --attack mitm --pcap run.pcap
-//   $ for s in none arpwatch dai s-arp; do
-//         arpsec_sim --scheme $s --attack mitm --csv results.csv; done
+//   $ arpsec_sim --sweep --scheme all --seeds 10 --jobs 4 --sweep-out sweep.json
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/time.hpp"
 #include "core/artifact.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "detect/registry.hpp"
+#include "exp/sweep.hpp"
 #include "sim/pcap_tap.hpp"
 #include "telemetry/run_artifact.hpp"
 #include "telemetry/trace.hpp"
@@ -44,6 +46,10 @@ struct Args {
     bool verbose = false;
     bool list = false;
     bool help = false;
+    bool sweep = false;
+    std::size_t jobs = 1;
+    std::size_t seeds = 1;
+    std::string sweep_out_path;
 };
 
 void usage() {
@@ -65,6 +71,14 @@ void usage() {
     std::puts("  --trace-out FILE       write a Chrome trace_event JSON (chrome://tracing)");
     std::puts("  --trace-jsonl FILE     write the event log as JSON lines");
     std::puts("  --verbose              print alerts as they fire");
+    std::puts("");
+    std::puts("sweep mode (aggregate table instead of a single run):");
+    std::puts("  --sweep                sweep scheme x seed instead of one scenario;");
+    std::puts("                         --scheme takes a comma list or 'all'");
+    std::puts("  --seeds K              seed replicates seed..seed+K-1 (default: 1)");
+    std::puts("  --jobs N               worker threads; stdout and artifacts are");
+    std::puts("                         byte-identical for every N (default: 1)");
+    std::puts("  --sweep-out FILE       write the arpsec.sweep-artifact.v1 JSON");
 }
 
 bool parse_args(int argc, char** argv, Args& out) {
@@ -142,6 +156,22 @@ bool parse_args(int argc, char** argv, Args& out) {
             const char* v = need("--trace-jsonl");
             if (v == nullptr) return false;
             out.trace_jsonl_path = v;
+        } else if (a == "--sweep") {
+            out.sweep = true;
+        } else if (a == "--jobs") {
+            const char* v = need("--jobs");
+            if (v == nullptr) return false;
+            out.jobs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+            if (out.jobs == 0) out.jobs = 1;
+        } else if (a == "--seeds") {
+            const char* v = need("--seeds");
+            if (v == nullptr) return false;
+            out.seeds = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+            if (out.seeds == 0) out.seeds = 1;
+        } else if (a == "--sweep-out") {
+            const char* v = need("--sweep-out");
+            if (v == nullptr) return false;
+            out.sweep_out_path = v;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
             return false;
@@ -181,6 +211,81 @@ bool append_csv(const Args& args, const core::ScenarioResult& r) {
     return true;
 }
 
+/// Sweep mode: scheme set × seed replicates on the worker pool, aggregate
+/// table on stdout (byte-identical for every --jobs value), timing and
+/// failures on stderr. pcap/trace/csv options apply to single runs only.
+int run_sweep_mode(const Args& args, const core::ScenarioConfig& base_cfg) {
+    exp::SweepSpec spec;
+    spec.name = "cli_sweep";
+    if (args.scheme == "all") {
+        for (const auto& reg : detect::all_schemes()) spec.schemes.push_back(reg.name);
+    } else {
+        std::string cur;
+        for (const char c : args.scheme + ",") {
+            if (c == ',') {
+                if (!cur.empty()) spec.schemes.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+    }
+    for (const auto& name : spec.schemes) {
+        if (detect::make_scheme(name) == nullptr) {
+            std::fprintf(stderr, "unknown scheme '%s' (see --list)\n", name.c_str());
+            return 2;
+        }
+    }
+    spec.seeds.clear();
+    for (std::size_t k = 0; k < args.seeds; ++k) spec.seeds.push_back(args.seed + k);
+    spec.configure = [&](const exp::Point& p) {
+        core::ScenarioConfig cfg = base_cfg;
+        cfg.name = "cli-sweep";
+        cfg.seed = p.seed;
+        return cfg;
+    };
+
+    common::Stopwatch sw;
+    const auto outcome = exp::run_sweep(spec, exp::SweepOptions{args.jobs});
+    std::fprintf(stderr, "sweep: %zu points, jobs=%zu, %.2fs wall\n", outcome.points.size(),
+                 args.jobs, sw.elapsed_seconds());
+    for (const auto& pr : outcome.points) {
+        if (!pr.failed) continue;
+        std::fprintf(stderr, "point %zu (%s seed=%llu) failed: %s\n", pr.point.index,
+                     pr.point.scheme.c_str(), static_cast<unsigned long long>(pr.point.seed),
+                     pr.error.c_str());
+    }
+
+    core::TextTable table("Sweep — " + std::to_string(spec.schemes.size()) + " scheme(s) x " +
+                          std::to_string(args.seeds) + " seed(s), attack=" + args.attack);
+    table.set_headers({"scheme", "runs", "attack success", "detected", "FP/run",
+                       "interception", "resolve p50 (us)"});
+    for (const auto& name : spec.schemes) {
+        const auto& agg = outcome.aggregate_at(name, {});
+        const auto rate = [&](const char* m) {
+            const auto* s = agg.measure(m);
+            return core::fmt_percent(s != nullptr ? s->mean() : 0.0);
+        };
+        table.add_row({name, std::to_string(agg.replicates), rate("attack_succeeded"),
+                       rate("detected"), exp::fmt_mean_sd(agg.measure("false_positives")),
+                       rate("interception"),
+                       exp::fmt_mean_sd(agg.measure("resolve_p50_us"))});
+    }
+    table.print();
+
+    if (!args.sweep_out_path.empty()) {
+        exp::SweepArtifact artifact("arpsec_sim");
+        artifact.set_meta("attack", args.attack);
+        artifact.add(outcome);
+        if (!artifact.write(args.sweep_out_path)) {
+            std::fprintf(stderr, "failed to write %s\n", args.sweep_out_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote sweep artifact -> %s\n", args.sweep_out_path.c_str());
+    }
+    return outcome.failures() > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -205,10 +310,13 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    auto scheme = detect::make_scheme(args.scheme);
-    if (scheme == nullptr) {
-        std::fprintf(stderr, "unknown scheme '%s' (see --list)\n", args.scheme.c_str());
-        return 2;
+    std::unique_ptr<detect::Scheme> scheme;
+    if (!args.sweep) {
+        scheme = detect::make_scheme(args.scheme);
+        if (scheme == nullptr) {
+            std::fprintf(stderr, "unknown scheme '%s' (see --list)\n", args.scheme.c_str());
+            return 2;
+        }
     }
 
     core::ScenarioConfig cfg;
@@ -250,6 +358,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown policy '%s' (see --list)\n", args.policy.c_str());
         return 2;
     }
+
+    if (args.sweep) return run_sweep_mode(args, cfg);
 
     core::ScenarioRunner runner(cfg);
     if (args.verbose) {
