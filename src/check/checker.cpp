@@ -1,0 +1,155 @@
+#include "check/checker.hpp"
+
+#include <sstream>
+
+#include "exp/executor.hpp"
+
+#include "check/planted.hpp"
+#include "check/shrinker.hpp"
+
+namespace arpsec::check {
+
+using telemetry::Json;
+
+Json SeedResult::artifact() const {
+    Json j = Json::object();
+    j["format"] = std::string(kArtifactFormat);
+    j["seed"] = static_cast<std::int64_t>(seed);
+    j["scheme"] = scheme;
+    j["original_events"] = static_cast<std::int64_t>(original_events);
+    j["shrink_runs"] = static_cast<std::int64_t>(shrink_runs);
+    j["scenario"] = minimal.to_json();
+    Json vs = Json::array();
+    for (const Violation& v : violations) vs.push_back(v.to_json());
+    j["violations"] = std::move(vs);
+    return j;
+}
+
+std::size_t CheckReport::failures() const {
+    std::size_t n = 0;
+    for (const SeedResult& r : results) {
+        if (r.failed) ++n;
+    }
+    return n;
+}
+
+std::string CheckReport::text() const {
+    std::ostringstream os;
+    os << "arpsec-check: seeds [" << options.first_seed << ", "
+       << options.first_seed + options.seeds << ")";
+    if (options.plant_bug) os << " plant-bug";
+    os << "\n";
+    for (const SeedResult& r : results) {
+        os << "seed " << r.seed << " scheme=" << r.scheme;
+        if (!r.error.empty()) {
+            os << " ERROR " << r.error << "\n";
+            continue;
+        }
+        os << " events=" << r.original_events << " frames=" << r.outcome.frames
+           << " alerts=" << r.outcome.alerts << " poisons=" << r.outcome.poisons;
+        if (!r.failed) {
+            os << " ok\n";
+            continue;
+        }
+        os << " FAIL";
+        if (r.minimal.events.size() != r.original_events) {
+            os << " shrunk " << r.original_events << " -> " << r.minimal.events.size()
+               << " events (" << r.shrink_runs << " runs)";
+        }
+        os << "\n";
+        for (const Violation& v : r.violations) {
+            os << "  [" << v.oracle << "] " << v.detail << "\n";
+        }
+    }
+    os << "failures: " << failures() << "/" << results.size() << "\n";
+    return os.str();
+}
+
+CheckReport run_check(const CheckOptions& options) {
+    CheckOptions opts = options;
+    detect::Registry registry;
+    if (opts.plant_bug) opts.gen.schemes = {plant_bug(registry)};
+
+    const ScenarioGen gen(opts.gen);
+    const auto oracles = default_oracles();
+    const Harness harness(registry, oracles);
+
+    // Each index is self-contained (own Network built from its seed), so
+    // the fan-out is deterministic for any job count and the collected
+    // vector is in seed order regardless of scheduling.
+    auto outcomes = exp::map_indexed<SeedResult>(
+        opts.seeds, opts.jobs, [&](std::size_t i) {
+            const std::uint64_t seed = opts.first_seed + i;
+            SeedResult r;
+            r.seed = seed;
+            const CheckScenario scenario = gen.generate(seed);
+            r.scheme = scenario.scheme;
+            r.original_events = scenario.events.size();
+            r.minimal = scenario;
+            r.outcome = harness.run(scenario);
+            r.violations = r.outcome.violations;
+            r.failed = !r.outcome.passed();
+            if (r.failed && opts.shrink && !scenario.events.empty()) {
+                const Shrinker shrinker(harness, {opts.shrink_max_runs});
+                ShrinkResult s = shrinker.shrink(scenario, r.violations.front().oracle);
+                r.minimal = std::move(s.minimal);
+                r.violations = std::move(s.violations);
+                r.shrink_runs = s.runs;
+            }
+            return r;
+        });
+
+    CheckReport report;
+    report.options = opts;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].failed) {
+            SeedResult r;
+            r.seed = opts.first_seed + i;
+            r.failed = true;
+            r.error = outcomes[i].error;
+            report.results.push_back(std::move(r));
+        } else {
+            report.results.push_back(std::move(outcomes[i].value));
+        }
+    }
+    return report;
+}
+
+common::Expected<ReplayOutcome> replay_artifact(const std::string& json_text, bool planted) {
+    const auto parsed = Json::parse(json_text);
+    if (!parsed) {
+        return common::Expected<ReplayOutcome>::failure("artifact: malformed JSON");
+    }
+    if (!parsed->is_object()) {
+        return common::Expected<ReplayOutcome>::failure("artifact: not a JSON object");
+    }
+    const Json* format = parsed->find("format");
+    if (format == nullptr || !format->is_string() || format->as_string() != kArtifactFormat) {
+        return common::Expected<ReplayOutcome>::failure(
+            std::string("artifact: expected format ") + kArtifactFormat);
+    }
+    const Json* scenario_json = parsed->find("scenario");
+    if (scenario_json == nullptr) {
+        return common::Expected<ReplayOutcome>::failure("artifact: missing scenario");
+    }
+    auto scenario = CheckScenario::from_json(*scenario_json);
+    if (!scenario) {
+        return common::Expected<ReplayOutcome>::failure("artifact: bad scenario");
+    }
+
+    detect::Registry registry;
+    if (planted) plant_bug(registry);
+    if (!registry.contains(scenario->scheme)) {
+        return common::Expected<ReplayOutcome>::failure(
+            "artifact: unknown scheme '" + scenario->scheme +
+            "' (planted-bug artifacts need --planted)");
+    }
+    const auto oracles = default_oracles();
+    const Harness harness(registry, oracles);
+    ReplayOutcome out;
+    out.scenario = *scenario;
+    out.outcome = harness.run(*scenario);
+    return common::Expected<ReplayOutcome>(std::move(out));
+}
+
+}  // namespace arpsec::check

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "telemetry/json.hpp"
+
+#include "check/harness.hpp"
+#include "check/scenario_gen.hpp"
+
+namespace arpsec::check {
+
+/// Version tag of the failure repro format.
+inline constexpr const char* kArtifactFormat = "arpsec.check-artifact.v1";
+
+struct CheckOptions {
+    std::uint64_t first_seed = 1;
+    std::size_t seeds = 20;
+    /// Worker threads for the seed fan-out. The report is byte-identical
+    /// for every job count (exp::map_indexed collects in index order).
+    std::size_t jobs = 1;
+    GenOptions gen;
+    /// Self-test mode: register the fault-injected scheme and point the
+    /// generator's scheme pool at it. The checker must find and shrink the
+    /// planted bug.
+    bool plant_bug = false;
+    bool shrink = true;
+    std::size_t shrink_max_runs = 200;
+};
+
+/// What one seed produced. On failure, `minimal` holds the shrunk
+/// scenario and `violations` its violations; on success `minimal` is the
+/// generated scenario itself.
+struct SeedResult {
+    std::uint64_t seed = 0;
+    std::string scheme;
+    bool failed = false;
+    std::string error;  // non-empty when the harness itself threw
+    std::size_t original_events = 0;
+    RunOutcome outcome;  // of the full (unshrunk) scenario
+    CheckScenario minimal;
+    std::vector<Violation> violations;
+    std::size_t shrink_runs = 0;
+
+    /// The arpsec.check-artifact.v1 repro document (seed + minimal event
+    /// schedule + violations) that arpsec-check --replay re-executes.
+    [[nodiscard]] telemetry::Json artifact() const;
+};
+
+struct CheckReport {
+    CheckOptions options;
+    std::vector<SeedResult> results;  // in seed order, independent of jobs
+
+    [[nodiscard]] std::size_t failures() const;
+    /// Deterministic human-readable report (no timestamps, no job count).
+    [[nodiscard]] std::string text() const;
+};
+
+/// Generates `seeds` scenarios, runs each through the harness on a
+/// deterministic parallel fan-out, and shrinks every failure.
+[[nodiscard]] CheckReport run_check(const CheckOptions& options);
+
+struct ReplayOutcome {
+    CheckScenario scenario;
+    RunOutcome outcome;
+};
+
+/// Re-executes a recorded artifact exactly. Fails on malformed input or an
+/// unknown format tag. `planted` must match the run that recorded the
+/// artifact so the scheme name resolves.
+[[nodiscard]] common::Expected<ReplayOutcome> replay_artifact(const std::string& json_text,
+                                                              bool planted);
+
+}  // namespace arpsec::check

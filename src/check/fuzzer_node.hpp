@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/node.hpp"
+#include "wire/ipv4_address.hpp"
+#include "wire/mac_address.hpp"
+
+namespace arpsec::check {
+
+/// Node that spews attacker-controlled bytes: structurally valid Ethernet
+/// frames with randomized payloads (the simulator requires parsable
+/// Ethernet framing to deliver at all; everything above L2 is fuzzed).
+/// Shared between the fuzz tests and the DST checker so both exercise the
+/// same adversarial byte generator. Coverage spans raw ARP/IPv4 garbage
+/// plus random bytes wrapped in valid IPv4 headers, including UDP datagrams
+/// aimed at the DHCP ports and TCP segments with random flag soup.
+class FuzzerNode final : public sim::Node {
+public:
+    struct Options {
+        std::uint64_t max_frames = 2000;
+        common::Duration period = common::Duration::micros(200);
+        /// Destination of the unicast share of the traffic.
+        wire::MacAddress target;
+        /// Unicast IPv4 destination used when not broadcasting.
+        wire::Ipv4Address target_ip{192, 168, 1, 10};
+    };
+
+    FuzzerNode(std::string name, std::uint64_t seed, wire::MacAddress target);
+    FuzzerNode(std::string name, std::uint64_t seed, Options options);
+
+    void start() override { tick(); }
+    void on_frame(sim::PortId, const wire::EthernetFrame&,
+                  std::span<const std::uint8_t>) override {}
+
+    [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
+
+private:
+    void tick();
+
+    common::Rng rng_;
+    Options options_;
+    std::uint64_t sent_ = 0;
+};
+
+}  // namespace arpsec::check

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/registry.hpp"
+
+#include "check/oracle.hpp"
+#include "check/scenario.hpp"
+
+namespace arpsec::check {
+
+/// What one checked run produced.
+struct RunOutcome {
+    std::vector<Violation> violations;
+    std::size_t alerts = 0;
+    std::size_t poisons = 0;  // distinct wrong-MAC cache transitions observed
+    std::uint64_t frames = 0;
+    std::uint64_t events_executed = 0;
+
+    [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+/// Builds the small LAN a CheckScenario describes (switch + gateway/DHCP
+/// server + hosts + attacker + mirror-port monitor), deploys the scheme
+/// under test, injects the event schedule, and evaluates the oracle set at
+/// every event boundary plus once after the grace period. Fully
+/// deterministic: the same scenario always yields the same outcome.
+class Harness {
+public:
+    Harness(const detect::Registry& registry,
+            const std::vector<std::unique_ptr<Oracle>>& oracles)
+        : registry_(&registry), oracles_(&oracles) {}
+
+    /// Throws std::runtime_error if the scenario names an unknown scheme.
+    [[nodiscard]] RunOutcome run(const CheckScenario& scenario) const;
+
+private:
+    const detect::Registry* registry_;
+    const std::vector<std::unique_ptr<Oracle>>* oracles_;
+};
+
+}  // namespace arpsec::check

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "detect/alert.hpp"
+#include "detect/scheme.hpp"
+#include "sim/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "wire/ipv4_address.hpp"
+#include "wire/mac_address.hpp"
+
+#include "check/scenario.hpp"
+
+namespace arpsec::check {
+
+/// One invariant violation an oracle found. `event_index` is the index of
+/// the most recently injected schedule event when the violation was
+/// observed (kNoEvent during settle / baseline checks) — informational
+/// only; the shrinker attributes blame by re-running subsets.
+struct Violation {
+    static constexpr std::size_t kNoEvent = static_cast<std::size_t>(-1);
+
+    std::string oracle;
+    std::string detail;
+    common::SimTime at;
+    std::size_t event_index = kNoEvent;
+
+    [[nodiscard]] telemetry::Json to_json() const;
+};
+
+/// A cache transition to a MAC that contradicts ground truth, observed by
+/// the harness when diffing station caches between event steps.
+struct PoisonObservation {
+    std::size_t station = 0;  // whose cache changed (host idx, or host_count = gateway)
+    std::size_t owner = 0;    // station that truly owns `ip`
+    wire::Ipv4Address ip;
+    wire::MacAddress mac;  // the wrong MAC now cached
+    common::SimTime at;
+    bool overwrite = false;     // a previously-correct binding was replaced
+    bool directory_ip = false;  // `ip` was in the directory handed to the scheme
+    bool announced = false;     // the true binding was observable at the mirror port
+};
+
+/// Read-only view of one run the oracles judge. `new_poisons` holds only
+/// the observations from the current step (so per-step oracles do not
+/// re-report), `all_poisons` accumulates over the whole run (for the
+/// end-of-run detection oracle).
+struct CheckContext {
+    const CheckScenario* scenario = nullptr;
+    const detect::SchemeTraits* traits = nullptr;
+    sim::Network* net = nullptr;
+    const detect::AlertSink* alerts = nullptr;
+    telemetry::MetricsRegistry* metrics = nullptr;
+    std::size_t host_count = 0;
+    std::size_t protected_hosts = 0;  // the gateway is always protected
+    const std::vector<PoisonObservation>* new_poisons = nullptr;
+    const std::vector<PoisonObservation>* all_poisons = nullptr;
+    bool final_check = false;
+    std::size_t last_event = Violation::kNoEvent;
+
+    /// Whether the scheme's vantage point covers `station`. Switch- and
+    /// monitor-based schemes see the whole fabric; host-based schemes only
+    /// cover the stations they were deployed on (the protected prefix plus
+    /// the gateway).
+    [[nodiscard]] bool in_scope(std::size_t station) const;
+};
+
+/// A cross-cutting invariant, checked after every event step and once more
+/// after the post-schedule grace period (final_check == true).
+class Oracle {
+public:
+    virtual ~Oracle() = default;
+    [[nodiscard]] virtual const char* name() const = 0;
+    virtual void check(const CheckContext& ctx, std::vector<Violation>& out) const = 0;
+};
+
+/// The standard oracle set:
+///  - sim-conservation: frames placed on the wire == delivered + dropped
+///    + in flight, at every step.
+///  - telemetry-consistency: the metrics registry agrees with the
+///    authoritative sim counters and the alert sink.
+///  - prevention-no-poison: a prevention scheme never lets a protected
+///    station's correct directory binding be overwritten with a wrong MAC.
+///  - detection-silent-poison: a detection scheme that could see a
+///    successful poisoning (vantage + prior knowledge) raises at least one
+///    alert by the end of the run.
+[[nodiscard]] std::vector<std::unique_ptr<Oracle>> default_oracles();
+
+}  // namespace arpsec::check

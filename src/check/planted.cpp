@@ -1,0 +1,50 @@
+#include "check/planted.hpp"
+
+#include <utility>
+
+namespace arpsec::check {
+
+SuppressAlertScheme::SuppressAlertScheme(std::unique_ptr<detect::Scheme> inner,
+                                         detect::AlertKind suppressed)
+    : inner_(std::move(inner)), suppressed_(suppressed) {}
+
+detect::SchemeTraits SuppressAlertScheme::traits() const {
+    // Identical traits: the bug is invisible to introspection, like a real
+    // regression — only the checker's oracles can expose it.
+    return inner_->traits();
+}
+
+void SuppressAlertScheme::deploy(const detect::DeploymentContext& ctx) {
+    filter_ = std::make_unique<detect::AlertSink>();
+    filter_->on_alert = [real = ctx.alerts, suppressed = suppressed_](const detect::Alert& a) {
+        if (a.kind != suppressed && real != nullptr) {
+            detect::Alert copy = a;
+            real->report(std::move(copy));
+        }
+    };
+    detect::DeploymentContext patched = ctx;
+    patched.alerts = filter_.get();
+    inner_->deploy(patched);
+}
+
+void SuppressAlertScheme::protect_host(host::Host& host) { inner_->protect_host(host); }
+void SuppressAlertScheme::configure_switch(l2::Switch& fabric) {
+    inner_->configure_switch(fabric);
+}
+void SuppressAlertScheme::attach_monitor(detect::MonitorNode& monitor) {
+    inner_->attach_monitor(monitor);
+}
+
+std::string plant_bug(detect::Registry& registry) {
+    if (!registry.contains(kPlantedSchemeName)) {
+        auto added = registry.add({kPlantedSchemeName, [] {
+                                       return std::make_unique<SuppressAlertScheme>(
+                                           detect::make_scheme("arpwatch"),
+                                           detect::AlertKind::kIpMacChange);
+                                   }});
+        (void)added;
+    }
+    return kPlantedSchemeName;
+}
+
+}  // namespace arpsec::check

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "detect/alert.hpp"
+#include "detect/registry.hpp"
+#include "detect/scheme.hpp"
+
+namespace arpsec::check {
+
+/// Fault-injection decorator for checker self-tests: behaves exactly like
+/// the wrapped scheme, but one class of its alerts is silently discarded —
+/// the shape of a real regression where a refactor drops an alert path.
+/// The checker must find a schedule whose only alert would have been of
+/// the suppressed kind and shrink it to a minimal repro.
+class SuppressAlertScheme final : public detect::Scheme {
+public:
+    SuppressAlertScheme(std::unique_ptr<detect::Scheme> inner, detect::AlertKind suppressed);
+
+    [[nodiscard]] detect::SchemeTraits traits() const override;
+    void deploy(const detect::DeploymentContext& ctx) override;
+    void protect_host(host::Host& host) override;
+    void configure_switch(l2::Switch& fabric) override;
+    void attach_monitor(detect::MonitorNode& monitor) override;
+
+private:
+    std::unique_ptr<detect::Scheme> inner_;
+    detect::AlertKind suppressed_;
+    /// Interposed sink: forwards everything except the suppressed kind.
+    std::unique_ptr<detect::AlertSink> filter_;
+};
+
+/// Name under which plant_bug() registers the planted scheme.
+inline constexpr const char* kPlantedSchemeName = "planted-arpwatch-silent";
+
+/// Registers an arpwatch variant whose IP->MAC-change alert path is
+/// suppressed (the one alert arpwatch raises for a classic poisoning).
+/// Returns the registered name.
+std::string plant_bug(detect::Registry& registry);
+
+}  // namespace arpsec::check

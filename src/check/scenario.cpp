@@ -1,0 +1,134 @@
+#include "check/scenario.hpp"
+
+namespace arpsec::check {
+
+using telemetry::Json;
+
+std::string to_string(InjectKind k) {
+    switch (k) {
+        case InjectKind::kForgedReply: return "forged-reply";
+        case InjectKind::kForgedRequest: return "forged-request";
+        case InjectKind::kGratuitousRequest: return "gratuitous-request";
+        case InjectKind::kGratuitousReply: return "gratuitous-reply";
+        case InjectKind::kReplayLegit: return "replay-legit";
+        case InjectKind::kBenignTraffic: return "benign-traffic";
+    }
+    return "?";
+}
+
+std::optional<InjectKind> inject_kind_from_string(const std::string& s) {
+    for (const auto k :
+         {InjectKind::kForgedReply, InjectKind::kForgedRequest, InjectKind::kGratuitousRequest,
+          InjectKind::kGratuitousReply, InjectKind::kReplayLegit, InjectKind::kBenignTraffic}) {
+        if (to_string(k) == s) return k;
+    }
+    return std::nullopt;
+}
+
+Json InjectedEvent::to_json() const {
+    Json j = Json::object();
+    j["at_ns"] = at.count();
+    j["kind"] = to_string(kind);
+    j["target"] = static_cast<std::int64_t>(target);
+    j["spoofed"] = static_cast<std::int64_t>(spoofed);
+    j["claim_attacker_mac"] = claim_attacker_mac;
+    j["consistent_l2"] = consistent_l2;
+    j["aux"] = static_cast<std::int64_t>(aux);
+    return j;
+}
+
+std::optional<InjectedEvent> InjectedEvent::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* at = j.find("at_ns");
+    const Json* kind = j.find("kind");
+    if (at == nullptr || !at->is_int() || kind == nullptr || !kind->is_string()) {
+        return std::nullopt;
+    }
+    const auto parsed_kind = inject_kind_from_string(kind->as_string());
+    if (!parsed_kind) return std::nullopt;
+    InjectedEvent e;
+    e.at = common::Duration{at->as_int()};
+    e.kind = *parsed_kind;
+    const auto read_size = [&j](const char* key, std::size_t& out) {
+        if (const Json* v = j.find(key); v != nullptr && v->is_int()) {
+            out = static_cast<std::size_t>(v->as_int());
+        }
+    };
+    read_size("target", e.target);
+    read_size("spoofed", e.spoofed);
+    if (const Json* v = j.find("claim_attacker_mac"); v != nullptr && v->is_bool()) {
+        e.claim_attacker_mac = v->as_bool();
+    }
+    if (const Json* v = j.find("consistent_l2"); v != nullptr && v->is_bool()) {
+        e.consistent_l2 = v->as_bool();
+    }
+    if (const Json* v = j.find("aux"); v != nullptr && v->is_int()) {
+        e.aux = static_cast<std::uint64_t>(v->as_int());
+    }
+    return e;
+}
+
+Json CheckScenario::to_json() const {
+    Json j = Json::object();
+    j["seed"] = static_cast<std::int64_t>(seed);
+    j["scheme"] = scheme;
+    j["host_count"] = static_cast<std::int64_t>(host_count);
+    j["dhcp"] = dhcp;
+    j["protected_hosts"] = static_cast<std::int64_t>(protected_hosts);
+    j["link_loss"] = link_loss;
+    j["settle_ns"] = settle.count();
+    j["grace_ns"] = grace.count();
+    Json evs = Json::array();
+    for (const auto& e : events) evs.push_back(e.to_json());
+    j["events"] = std::move(evs);
+    return j;
+}
+
+std::optional<CheckScenario> CheckScenario::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    CheckScenario s;
+    const Json* scheme = j.find("scheme");
+    const Json* hosts = j.find("host_count");
+    const Json* events = j.find("events");
+    if (scheme == nullptr || !scheme->is_string() || hosts == nullptr || !hosts->is_int() ||
+        events == nullptr || !events->is_array()) {
+        return std::nullopt;
+    }
+    s.scheme = scheme->as_string();
+    s.host_count = static_cast<std::size_t>(hosts->as_int());
+    s.protected_hosts = s.host_count;
+    if (const Json* v = j.find("seed"); v != nullptr && v->is_int()) {
+        s.seed = static_cast<std::uint64_t>(v->as_int());
+    }
+    if (const Json* v = j.find("dhcp"); v != nullptr && v->is_bool()) s.dhcp = v->as_bool();
+    if (const Json* v = j.find("protected_hosts"); v != nullptr && v->is_int()) {
+        s.protected_hosts = static_cast<std::size_t>(v->as_int());
+    }
+    if (const Json* v = j.find("link_loss"); v != nullptr && v->is_number()) {
+        s.link_loss = v->as_double();
+    }
+    if (const Json* v = j.find("settle_ns"); v != nullptr && v->is_int()) {
+        s.settle = common::Duration{v->as_int()};
+    }
+    if (const Json* v = j.find("grace_ns"); v != nullptr && v->is_int()) {
+        s.grace = common::Duration{v->as_int()};
+    }
+    for (const Json& ej : events->as_array()) {
+        auto e = InjectedEvent::from_json(ej);
+        if (!e) return std::nullopt;
+        s.events.push_back(*e);
+    }
+    return s;
+}
+
+std::uint64_t CheckScenario::digest() const {
+    const std::string text = to_json().dump();
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+    for (const char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace arpsec::check

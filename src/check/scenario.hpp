@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "telemetry/json.hpp"
+
+namespace arpsec::check {
+
+/// One adversarial (or stimulus) event the checker injects into a run.
+/// Every kind is a pure function of the event fields plus the deterministic
+/// topology, so a schedule replays bit-for-bit and events can be deleted
+/// independently during shrinking.
+enum class InjectKind {
+    kForgedReply,        // unsolicited reply: "spoofed IP is at claimed MAC"
+    kForgedRequest,      // forged request poisoning via the sender fields
+    kGratuitousRequest,  // gratuitous announcement, request form
+    kGratuitousReply,    // gratuitous announcement, reply form
+    kReplayLegit,        // re-inject a captured legitimate ARP frame verbatim
+    kBenignTraffic,      // a station sends one UDP datagram (stimulates ARP)
+};
+
+[[nodiscard]] std::string to_string(InjectKind k);
+[[nodiscard]] std::optional<InjectKind> inject_kind_from_string(const std::string& s);
+
+/// Station index convention: 0..host_count-1 are hosts, host_count is the
+/// gateway.
+struct InjectedEvent {
+    common::Duration at;  // offset from the end of the settle phase
+    InjectKind kind = InjectKind::kForgedReply;
+    std::size_t target = 0;   // victim station (forged*) / sender (benign)
+    std::size_t spoofed = 0;  // station whose IP the forgery claims
+    bool claim_attacker_mac = true;  // false: garbage blackhole MAC
+    bool consistent_l2 = true;       // frame src equals the claimed sender MAC
+    std::uint64_t aux = 0;           // replay frame / benign peer selector
+
+    [[nodiscard]] telemetry::Json to_json() const;
+    static std::optional<InjectedEvent> from_json(const telemetry::Json& j);
+};
+
+/// A complete randomized scenario: topology knobs plus the injected event
+/// schedule. Serializes into the arpsec.check-artifact.v1 repro format and
+/// parses back exactly, so a recorded failure replays deterministically.
+struct CheckScenario {
+    std::uint64_t seed = 1;
+    std::string scheme = "none";
+    std::size_t host_count = 4;
+    bool dhcp = false;
+    /// Partial deployment: only the first `protected_hosts` hosts (plus the
+    /// gateway) receive protect_host().
+    std::size_t protected_hosts = 4;
+    double link_loss = 0.0;
+    common::Duration settle = common::Duration::seconds(3);
+    common::Duration grace = common::Duration::seconds(2);
+    std::vector<InjectedEvent> events;
+
+    [[nodiscard]] telemetry::Json to_json() const;
+    static std::optional<CheckScenario> from_json(const telemetry::Json& j);
+
+    /// FNV-1a over the canonical serialization: the seed-stability golden
+    /// tests pin this so refactors cannot silently invalidate recorded
+    /// repro artifacts.
+    [[nodiscard]] std::uint64_t digest() const;
+};
+
+}  // namespace arpsec::check

@@ -1,0 +1,84 @@
+#include "check/scenario_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace arpsec::check {
+
+using common::Duration;
+using common::Rng;
+
+ScenarioGen::ScenarioGen(GenOptions options) : options_(std::move(options)) {
+    if (options_.schemes.empty()) {
+        throw std::invalid_argument("ScenarioGen: scheme pool must not be empty");
+    }
+    if (options_.min_hosts < 2 || options_.max_hosts < options_.min_hosts) {
+        throw std::invalid_argument("ScenarioGen: bad host bounds");
+    }
+    if (options_.min_events < 1 || options_.max_events < options_.min_events) {
+        throw std::invalid_argument("ScenarioGen: bad event bounds");
+    }
+}
+
+CheckScenario ScenarioGen::generate(std::uint64_t seed) const {
+    const Rng root(seed);
+    Rng topo = root.fork(kTopologyStream);
+    Rng sched = root.fork(kScheduleStream);
+
+    CheckScenario s;
+    s.seed = seed;
+    s.scheme = options_.schemes[topo.next_below(options_.schemes.size())];
+    s.host_count = static_cast<std::size_t>(
+        topo.next_in(static_cast<std::int64_t>(options_.min_hosts),
+                     static_cast<std::int64_t>(options_.max_hosts)));
+    s.dhcp = topo.chance(options_.dhcp_probability);
+    s.protected_hosts = s.host_count;
+    if (topo.chance(options_.partial_probability)) {
+        s.protected_hosts = static_cast<std::size_t>(
+            topo.next_in(1, static_cast<std::int64_t>(s.host_count)));
+    }
+    if (topo.chance(options_.lossy_probability)) {
+        s.link_loss = topo.next_double() * options_.max_loss;
+    }
+    // DHCP handshakes need a longer runway before the schedule starts.
+    s.settle = s.dhcp ? Duration::seconds(4) : Duration::seconds(3);
+    s.grace = Duration::seconds(2);
+
+    const std::size_t count = static_cast<std::size_t>(
+        sched.next_in(static_cast<std::int64_t>(options_.min_events),
+                      static_cast<std::int64_t>(options_.max_events)));
+    Duration at = Duration::zero();
+    for (std::size_t i = 0; i < count; ++i) {
+        at += sched.next_duration(Duration::millis(10), Duration::millis(400));
+        InjectedEvent e;
+        e.at = at;
+        const std::uint64_t shape = sched.next_below(10);
+        if (shape < 3) {
+            e.kind = InjectKind::kForgedReply;
+        } else if (shape < 4) {
+            e.kind = InjectKind::kForgedRequest;
+        } else if (shape < 5) {
+            e.kind = InjectKind::kGratuitousRequest;
+        } else if (shape < 6) {
+            e.kind = InjectKind::kGratuitousReply;
+        } else if (shape < 7) {
+            e.kind = InjectKind::kReplayLegit;
+        } else {
+            e.kind = InjectKind::kBenignTraffic;
+        }
+        e.target = sched.next_below(s.host_count);
+        // The spoofed station must differ from the victim so the forged
+        // claim contradicts ground truth; index host_count is the gateway.
+        e.spoofed = sched.next_below(s.host_count + 1);
+        if (e.spoofed == e.target) e.spoofed = s.host_count;
+        e.claim_attacker_mac = sched.chance(0.8);
+        e.consistent_l2 = sched.chance(0.7);
+        e.aux = sched.next_u64();
+        s.events.push_back(e);
+    }
+    return s;
+}
+
+}  // namespace arpsec::check

@@ -1,0 +1,59 @@
+#include "check/shrinker.hpp"
+
+#include <algorithm>
+
+namespace arpsec::check {
+
+namespace {
+
+bool still_fails(const std::vector<Violation>& violations, const std::string& oracle) {
+    return std::any_of(violations.begin(), violations.end(),
+                       [&oracle](const Violation& v) { return v.oracle == oracle; });
+}
+
+}  // namespace
+
+ShrinkResult Shrinker::shrink(const CheckScenario& failing, const std::string& oracle) const {
+    ShrinkResult result;
+    result.minimal = failing;
+    std::vector<Violation> best_violations;
+
+    const auto attempt = [&](const CheckScenario& candidate) {
+        ++result.runs;
+        const RunOutcome outcome = harness_->run(candidate);
+        if (!still_fails(outcome.violations, oracle)) return false;
+        result.minimal = candidate;
+        best_violations = outcome.violations;
+        return true;
+    };
+
+    std::size_t chunk = std::max<std::size_t>(1, result.minimal.events.size() / 2);
+    while (chunk >= 1) {
+        std::size_t i = 0;
+        while (i < result.minimal.events.size() && result.runs < options_.max_runs) {
+            CheckScenario candidate = result.minimal;
+            const auto first = candidate.events.begin() + static_cast<std::ptrdiff_t>(i);
+            const auto last = candidate.events.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  std::min(i + chunk, candidate.events.size()));
+            candidate.events.erase(first, last);
+            // On success stay at the same index: the next chunk slid into
+            // this position. On failure move past the kept chunk.
+            if (!attempt(candidate)) i += chunk;
+        }
+        if (chunk == 1 || result.runs >= options_.max_runs) break;
+        chunk /= 2;
+    }
+
+    if (best_violations.empty()) {
+        // Nothing could be removed (or budget 0): re-derive the minimal
+        // scenario's violations so callers always get a consistent pair.
+        ++result.runs;
+        best_violations = harness_->run(result.minimal).violations;
+    }
+    result.violations = std::move(best_violations);
+    result.removed = failing.events.size() - result.minimal.events.size();
+    return result;
+}
+
+}  // namespace arpsec::check

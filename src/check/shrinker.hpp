@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "check/harness.hpp"
+#include "check/scenario.hpp"
+
+namespace arpsec::check {
+
+/// Result of minimizing a failing scenario.
+struct ShrinkResult {
+    CheckScenario minimal;
+    std::size_t runs = 0;     // harness executions spent shrinking
+    std::size_t removed = 0;  // events deleted from the original schedule
+    std::vector<Violation> violations;  // the minimal scenario's violations
+};
+
+/// Greedy delta debugging over the injected event schedule: repeatedly
+/// deletes chunks of events (halving the chunk size down to single events)
+/// and keeps any deletion under which the harness still reports a
+/// violation from the same oracle. Terminates at a 1-minimal schedule:
+/// removing any single remaining event makes the failure disappear.
+class Shrinker {
+public:
+    struct Options {
+        /// Budget cap: shrinking stops (keeping the best-so-far scenario)
+        /// after this many harness re-runs.
+        std::size_t max_runs = 200;
+    };
+
+    explicit Shrinker(const Harness& harness) : harness_(&harness) {}
+    Shrinker(const Harness& harness, Options options) : harness_(&harness), options_(options) {}
+
+    /// `oracle` is the name of the oracle whose violation must be
+    /// preserved; `failing` must already violate it.
+    [[nodiscard]] ShrinkResult shrink(const CheckScenario& failing,
+                                      const std::string& oracle) const;
+
+private:
+    const Harness* harness_;
+    Options options_;
+};
+
+}  // namespace arpsec::check

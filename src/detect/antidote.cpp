@@ -94,6 +94,7 @@ SchemeTraits AntidoteScheme::traits() const {
     t.handles_dynamic_ips = true;  // legit rebinds pass after the probe times out
     t.deployment_cost = CostBand::kMedium;
     t.runtime_cost = CostBand::kLow;  // one probe per conflicting update
+    t.best_effort = true;  // the probe exchange itself rides the attacked LAN
     t.notes = "probe-verified overwrites; defeated if the old station is offline "
               "or the attacker answers the probe";
     return t;

@@ -137,6 +137,7 @@ SchemeTraits GossipScheme::traits() const {
     t.handles_dynamic_ips = false;  // transient disagreement during rebinds
     t.deployment_cost = CostBand::kMedium;
     t.runtime_cost = CostBand::kLow;  // one broadcast digest per host per period
+    t.best_effort = true;  // needs a digest round and a peer that knows the truth
     t.notes = "peers cross-check cache digests; a poisoned victim's divergent "
               "view is visible to the whole LAN; gossip itself unauthenticated";
     return t;

@@ -115,6 +115,7 @@ SchemeTraits MiddlewareScheme::traits() const {
     t.handles_dynamic_ips = true;
     t.deployment_cost = CostBand::kMedium;
     t.runtime_cost = CostBand::kLow;  // one broadcast verification per new binding
+    t.best_effort = true;  // the vote is forfeit if the true owner's answer is lost
     t.notes = "quarantines new/changed bindings behind an active LAN vote; "
               "guards creations too, at the cost of first-contact latency";
     return t;

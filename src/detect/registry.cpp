@@ -47,4 +47,35 @@ std::unique_ptr<Scheme> make_scheme(const std::string& name) {
     return nullptr;
 }
 
+Registry::Registry() : entries_(all_schemes()) {}
+
+common::Expected<bool> Registry::add(RegisteredScheme entry) {
+    if (entry.name.empty()) {
+        return common::Expected<bool>::failure("scheme name must not be empty");
+    }
+    if (entry.make == nullptr) {
+        return common::Expected<bool>::failure("scheme '" + entry.name + "' has no factory");
+    }
+    if (contains(entry.name)) {
+        return common::Expected<bool>::failure("scheme '" + entry.name +
+                                               "' is already registered");
+    }
+    entries_.push_back(std::move(entry));
+    return true;
+}
+
+bool Registry::contains(const std::string& name) const {
+    for (const auto& reg : entries_) {
+        if (reg.name == name) return true;
+    }
+    return false;
+}
+
+std::unique_ptr<Scheme> Registry::make(const std::string& name) const {
+    for (const auto& reg : entries_) {
+        if (reg.name == name) return reg.make();
+    }
+    return nullptr;
+}
+
 }  // namespace arpsec::detect

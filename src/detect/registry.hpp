@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "detect/scheme.hpp"
 
 namespace arpsec::detect {
@@ -23,5 +24,30 @@ struct RegisteredScheme {
 
 /// Creates a scheme by registered name; nullptr when unknown.
 [[nodiscard]] std::unique_ptr<Scheme> make_scheme(const std::string& name);
+
+/// A mutable scheme catalog: the builtin list plus caller-registered
+/// factories (the DST checker registers fault-injected decorators this
+/// way). Names are unique; registration of a duplicate or empty name is an
+/// error, so a typo cannot silently shadow a real scheme.
+class Registry {
+public:
+    /// Starts from the builtin all_schemes() list.
+    Registry();
+    /// Starts empty (tests and special-purpose catalogs).
+    struct Empty {};
+    explicit Registry(Empty) {}
+
+    /// Registers an additional factory. Fails on an empty name, a null
+    /// factory, or a name already present.
+    common::Expected<bool> add(RegisteredScheme entry);
+
+    [[nodiscard]] bool contains(const std::string& name) const;
+    /// Instance by name; nullptr when unknown.
+    [[nodiscard]] std::unique_ptr<Scheme> make(const std::string& name) const;
+    [[nodiscard]] const std::vector<RegisteredScheme>& entries() const { return entries_; }
+
+private:
+    std::vector<RegisteredScheme> entries_;
+};
 
 }  // namespace arpsec::detect

@@ -39,6 +39,12 @@ struct SchemeTraits {
     bool requires_per_host_deploy = false; // software on every protected host
     bool uses_cryptography = false;
     bool depends_on_dhcp = false;
+    /// The scheme's guarantees hinge on a runtime race it can lose (a
+    /// verification probe answered in time, a gossip round reaching a
+    /// knowledgeable peer): frame loss or CAM interference can silently
+    /// defeat it. The DST checker holds only non-best-effort schemes to
+    /// the hard never-admit-poison / always-alert invariants.
+    bool best_effort = false;
     bool handles_dynamic_ips = true;       // tolerates legitimate rebinding
     CostBand deployment_cost = CostBand::kLow;
     CostBand runtime_cost = CostBand::kNone;

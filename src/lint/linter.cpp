@@ -131,6 +131,12 @@ const std::map<std::string, std::set<std::string>, std::less<>>& layering() {
         {"exp",
          {"exp", "core", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry",
           "wire", "common"}},
+        // The checker may drive everything below it (fan-out via exp, sim
+        // construction, scheme deployment), but no module lists "check":
+        // nothing in the tree may depend back on the test harness.
+        {"check",
+         {"check", "exp", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry",
+          "wire", "common"}},
         {"lint", {"lint", "telemetry", "common"}},
     };
     return kAllowed;

@@ -97,7 +97,10 @@ void Network::transmit(Endpoint from, const wire::EthernetFrame& frame) {
     }
 
     const Endpoint to = w->peer;
+    counters_.in_flight_frames += 1;
     scheduler_.schedule_at(arrival, [this, to, raw = std::move(raw)] {
+        counters_.in_flight_frames -= 1;
+        counters_.delivered_frames += 1;
         Node& receiver = node(to.node);
         auto parsed = wire::EthernetFrame::parse(raw);
         if (parsed.ok()) {

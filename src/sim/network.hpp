@@ -42,7 +42,16 @@ struct TrafficCounters {
     std::uint64_t arp_bytes = 0;
     std::uint64_t ipv4_frames = 0;
     std::uint64_t ipv4_bytes = 0;
-    std::uint64_t dropped_frames = 0;  // link loss
+    std::uint64_t dropped_frames = 0;    // link loss
+    std::uint64_t delivered_frames = 0;  // handed to the destination node
+    std::uint64_t in_flight_frames = 0;  // scheduled but not yet delivered
+
+    /// Conservation law every run must satisfy at every instant: each frame
+    /// put on a wire is delivered, lost, or still propagating. The DST
+    /// checker asserts this after every injected event.
+    [[nodiscard]] bool conserved() const {
+        return frames == delivered_frames + dropped_frames + in_flight_frames;
+    }
 };
 
 /// The simulated LAN: owns nodes, links, the event scheduler and the

@@ -626,6 +626,46 @@ TEST(RegistryTest, LookupByName) {
     EXPECT_EQ(make_scheme("definitely-not-a-scheme"), nullptr);
 }
 
+TEST(RegistryTest, BuiltinCatalogIsCompleteAndMakes) {
+    const Registry registry;
+    EXPECT_EQ(registry.entries().size(), all_schemes().size());
+    for (const auto& entry : registry.entries()) {
+        EXPECT_TRUE(registry.contains(entry.name));
+        EXPECT_NE(registry.make(entry.name), nullptr) << entry.name;
+    }
+}
+
+TEST(RegistryTest, UnknownSchemeReturnsNull) {
+    const Registry registry;
+    EXPECT_FALSE(registry.contains("no-such-scheme"));
+    EXPECT_EQ(registry.make("no-such-scheme"), nullptr);
+    EXPECT_EQ(registry.make(""), nullptr);
+}
+
+TEST(RegistryTest, DuplicateRegistrationFails) {
+    Registry registry;
+    const auto dup = registry.add({"arpwatch", [] { return std::make_unique<ArpwatchScheme>(); }});
+    EXPECT_FALSE(dup.ok());
+    EXPECT_NE(dup.error().find("arpwatch"), std::string::npos);
+    // The original entry is untouched.
+    EXPECT_NE(registry.make("arpwatch"), nullptr);
+}
+
+TEST(RegistryTest, RejectsEmptyNameAndNullFactory) {
+    Registry registry(Registry::Empty{});
+    EXPECT_TRUE(registry.entries().empty());
+    EXPECT_FALSE(registry.add({"", [] { return std::make_unique<ArpwatchScheme>(); }}).ok());
+    EXPECT_FALSE(registry.add({"null-factory", nullptr}).ok());
+    EXPECT_FALSE(registry.contains("null-factory"));
+
+    const auto ok = registry.add({"only", [] { return std::make_unique<ArpwatchScheme>(); }});
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(registry.entries().size(), 1u);
+    EXPECT_NE(registry.make("only"), nullptr);
+    // Same name again fails even in a custom catalog.
+    EXPECT_FALSE(registry.add({"only", [] { return std::make_unique<ArpwatchScheme>(); }}).ok());
+}
+
 TEST(AlertTest, ToStringContainsFields) {
     Alert a;
     a.scheme = "test";

@@ -199,6 +199,33 @@ TEST(LintLayeringTest, TelemetryDependsOnlyOnCommon) {
                     .empty());
 }
 
+TEST(LintLayeringTest, CheckMayDriveSimDetectAndExp) {
+    // The DST checker sits above the stack: fan-out via exp, scheme
+    // deployment via detect, LAN construction via sim/l2/host.
+    EXPECT_TRUE(run("src/check/ok.cpp",
+                    "#include \"check/scenario.hpp\"\n"
+                    "#include \"exp/executor.hpp\"\n"
+                    "#include \"detect/registry.hpp\"\n"
+                    "#include \"sim/network.hpp\"\n"
+                    "#include \"host/host.hpp\"\n"
+                    "#include \"l2/switch.hpp\"\n")
+                    .empty());
+    // ...but not core: the checker builds its own harness.
+    EXPECT_TRUE(has_rule(run("src/check/bad.cpp", "#include \"core/runner.hpp\"\n"),
+                         "include-layering"));
+}
+
+TEST(LintLayeringTest, NothingDependsBackOnCheck) {
+    // No production module may include the checker — it is a leaf consumer,
+    // so a sim/detect/exp refactor can never be blocked by test machinery.
+    for (const char* path : {"src/sim/bad.cpp", "src/detect/bad.cpp", "src/exp/bad.cpp",
+                             "src/core/bad.cpp", "src/host/bad.cpp"}) {
+        EXPECT_TRUE(has_rule(run(path, "#include \"check/oracle.hpp\"\n"),
+                             "include-layering"))
+            << path;
+    }
+}
+
 TEST(LintLayeringTest, DownwardAndExternalIncludesPass) {
     EXPECT_TRUE(run("src/l2/ok.cpp",
                     "#include \"sim/network.hpp\"\n"

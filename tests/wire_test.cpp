@@ -446,5 +446,91 @@ TEST(PcapWriterTest, WritesGlobalHeaderAndRecords) {
     EXPECT_EQ(size, 24 + 2 * (16 + 64));
 }
 
+TEST(PcapWriterTest, RoundTripParsesBackToTheOriginalFrames) {
+    // Write real ARP-over-Ethernet frames, then read the file back with a
+    // minimal pcap parser and re-decode each record through the normal
+    // EthernetFrame/ArpPacket parsers: what tcpdump would see must be
+    // exactly what the simulator sent.
+    const MacAddress attacker = MacAddress::local(0x666);
+    const MacAddress victim = MacAddress::local(10);
+    const Ipv4Address gw_ip{192, 168, 1, 1};
+    const Ipv4Address victim_ip{192, 168, 1, 10};
+
+    std::vector<EthernetFrame> sent;
+    {
+        EthernetFrame f;
+        f.dst = MacAddress::broadcast();
+        f.src = victim;
+        f.ether_type = EtherType::kArp;
+        f.payload = ArpPacket::request(victim, victim_ip, gw_ip).serialize();
+        sent.push_back(f);
+    }
+    {
+        EthernetFrame f;
+        f.dst = victim;
+        f.src = attacker;
+        f.ether_type = EtherType::kArp;
+        f.payload = ArpPacket::reply(attacker, gw_ip, victim, victim_ip).serialize();
+        sent.push_back(f);
+    }
+
+    const std::string path = ::testing::TempDir() + "/arpsec_roundtrip.pcap";
+    const std::int64_t base_ns = 1'234'567'000;
+    {
+        PcapWriter w(path);
+        for (std::size_t i = 0; i < sent.size(); ++i) {
+            w.write(common::SimTime{base_ns + static_cast<std::int64_t>(i) * 1'000'000},
+                    sent[i].serialize());
+        }
+    }
+
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    const auto rd_u32 = [&] {
+        std::uint8_t b[4] = {};
+        EXPECT_EQ(std::fread(b, 1, 4, f), 4u);
+        return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+               (static_cast<std::uint32_t>(b[2]) << 16) |
+               (static_cast<std::uint32_t>(b[3]) << 24);
+    };
+    EXPECT_EQ(rd_u32(), 0xa1b2c3d4u);             // magic, little-endian file
+    EXPECT_EQ(rd_u32(), (4u << 16) | 2u);         // version 2.4 (minor|major pair)
+    EXPECT_EQ(rd_u32(), 0u);                      // thiszone
+    EXPECT_EQ(rd_u32(), 0u);                      // sigfigs
+    EXPECT_EQ(rd_u32(), 65535u);                  // snaplen
+    EXPECT_EQ(rd_u32(), 1u);                      // LINKTYPE_ETHERNET
+
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+        const std::int64_t ns = base_ns + static_cast<std::int64_t>(i) * 1'000'000;
+        EXPECT_EQ(rd_u32(), static_cast<std::uint32_t>(ns / 1'000'000'000));
+        EXPECT_EQ(rd_u32(), static_cast<std::uint32_t>((ns % 1'000'000'000) / 1'000));
+        const std::uint32_t incl = rd_u32();
+        const std::uint32_t orig = rd_u32();
+        EXPECT_EQ(incl, orig);
+        Bytes raw(incl);
+        ASSERT_EQ(std::fread(raw.data(), 1, raw.size(), f), raw.size());
+
+        const auto eth = EthernetFrame::parse(raw);
+        ASSERT_TRUE(eth.ok()) << "record " << i;
+        EXPECT_EQ(eth->dst, sent[i].dst);
+        EXPECT_EQ(eth->src, sent[i].src);
+        EXPECT_EQ(eth->ether_type, EtherType::kArp);
+        const auto arp = ArpPacket::parse(eth->payload);
+        ASSERT_TRUE(arp.ok()) << "record " << i;
+        const auto expected = ArpPacket::parse(sent[i].payload);
+        ASSERT_TRUE(expected.ok());
+        EXPECT_EQ(arp->op, expected->op);
+        EXPECT_EQ(arp->sender_ip, expected->sender_ip);
+        EXPECT_EQ(arp->sender_mac, expected->sender_mac);
+        EXPECT_EQ(arp->target_ip, expected->target_ip);
+        EXPECT_EQ(arp->target_mac, expected->target_mac);
+    }
+    // No trailing bytes: the file is exactly the header plus the records.
+    std::uint8_t extra = 0;
+    EXPECT_EQ(std::fread(&extra, 1, 1, f), 0u);
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace arpsec::wire
