@@ -20,27 +20,25 @@ FuzzerNode::FuzzerNode(std::string name, std::uint64_t seed, MacAddress target)
 FuzzerNode::FuzzerNode(std::string name, std::uint64_t seed, Options options)
     : sim::Node(std::move(name)), rng_(seed), options_(options) {}
 
-void FuzzerNode::tick() {
-    if (sent_ >= options_.max_frames) return;
-    ++sent_;
+EthernetFrame FuzzerNode::generate_frame(common::Rng& rng, const Options& options) {
     EthernetFrame f;
     // Mix of broadcast and unicast-to-target, ARP and IPv4.
-    f.dst = rng_.chance(0.5) ? MacAddress::broadcast() : options_.target;
-    f.src = MacAddress::local(rng_.next_u64() & 0xFFFFFFFFFFULL);
-    f.ether_type = rng_.chance(0.5) ? wire::EtherType::kArp : wire::EtherType::kIpv4;
-    const std::size_t len = rng_.next_below(200);
+    f.dst = rng.chance(0.5) ? MacAddress::broadcast() : options.target;
+    f.src = MacAddress::local(rng.next_u64() & 0xFFFFFFFFFFULL);
+    f.ether_type = rng.chance(0.5) ? wire::EtherType::kArp : wire::EtherType::kIpv4;
+    const std::size_t len = rng.next_below(200);
     f.payload.resize(len);
-    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng_.next_u64());
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.next_u64());
     // Often wrap the random bytes in a valid IPv4 header so the upper-layer
     // parsers (UDP, TCP, DHCP) see attacker-controlled payloads too.
-    if (f.ether_type == wire::EtherType::kIpv4 && rng_.chance(0.6)) {
+    if (f.ether_type == wire::EtherType::kIpv4 && rng.chance(0.6)) {
         wire::Ipv4Packet p;
-        p.src = Ipv4Address{static_cast<std::uint32_t>(rng_.next_u64())};
-        p.dst = rng_.chance(0.5) ? options_.target_ip : Ipv4Address::broadcast();
-        switch (rng_.next_below(4)) {
+        p.src = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+        p.dst = rng.chance(0.5) ? options.target_ip : Ipv4Address::broadcast();
+        switch (rng.next_below(4)) {
             case 0: {
                 // Random protocol number, raw payload.
-                p.protocol = static_cast<wire::IpProto>(rng_.next_below(20));
+                p.protocol = static_cast<wire::IpProto>(rng.next_below(20));
                 p.payload = f.payload;
                 break;
             }
@@ -48,26 +46,26 @@ void FuzzerNode::tick() {
                 // UDP datagram aimed at the DHCP ports: the server and
                 // client state machines must survive garbage options.
                 wire::UdpDatagram u;
-                const bool to_server = rng_.chance(0.5);
+                const bool to_server = rng.chance(0.5);
                 u.src_port = to_server ? wire::DhcpMessage::kClientPort
                                        : wire::DhcpMessage::kServerPort;
                 u.dst_port = to_server ? wire::DhcpMessage::kServerPort
                                        : wire::DhcpMessage::kClientPort;
                 u.payload = f.payload;
-                if (rng_.chance(0.5)) {
+                if (rng.chance(0.5)) {
                     // Structurally valid DHCP header with random fields, so
                     // the option walker runs instead of rejecting at parse.
                     wire::DhcpMessage d;
-                    d.op = static_cast<std::uint8_t>(rng_.next_below(4));
-                    d.xid = static_cast<std::uint32_t>(rng_.next_u64());
+                    d.op = static_cast<std::uint8_t>(rng.next_below(4));
+                    d.xid = static_cast<std::uint32_t>(rng.next_u64());
                     d.message_type =
-                        static_cast<wire::DhcpMessageType>(rng_.next_below(10));
-                    d.chaddr = MacAddress::local(rng_.next_u64() & 0xFFFFFFFFFFULL);
-                    d.yiaddr = Ipv4Address{static_cast<std::uint32_t>(rng_.next_u64())};
+                        static_cast<wire::DhcpMessageType>(rng.next_below(10));
+                    d.chaddr = MacAddress::local(rng.next_u64() & 0xFFFFFFFFFFULL);
+                    d.yiaddr = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
                     u.payload = d.serialize();
                     // Truncate or corrupt the tail half of the time.
-                    if (rng_.chance(0.5) && !u.payload.empty()) {
-                        u.payload.resize(rng_.next_below(u.payload.size()) + 1);
+                    if (rng.chance(0.5) && !u.payload.empty()) {
+                        u.payload.resize(rng.next_below(u.payload.size()) + 1);
                     }
                 }
                 p.protocol = wire::IpProto::kUdp;
@@ -78,13 +76,13 @@ void FuzzerNode::tick() {
                 // TCP segment with random ports, sequence space, and flag
                 // soup (SYN|RST|FIN combinations included).
                 wire::TcpSegment t;
-                t.src_port = static_cast<std::uint16_t>(rng_.next_u64());
-                t.dst_port = rng_.chance(0.5)
+                t.src_port = static_cast<std::uint16_t>(rng.next_u64());
+                t.dst_port = rng.chance(0.5)
                                  ? static_cast<std::uint16_t>(80)
-                                 : static_cast<std::uint16_t>(rng_.next_u64());
-                t.seq = static_cast<std::uint32_t>(rng_.next_u64());
-                t.ack = static_cast<std::uint32_t>(rng_.next_u64());
-                t.flags = static_cast<std::uint8_t>(rng_.next_below(32));
+                                 : static_cast<std::uint16_t>(rng.next_u64());
+                t.seq = static_cast<std::uint32_t>(rng.next_u64());
+                t.ack = static_cast<std::uint32_t>(rng.next_u64());
+                t.flags = static_cast<std::uint8_t>(rng.next_below(32));
                 t.payload = f.payload;
                 p.protocol = wire::IpProto::kTcp;
                 p.payload = t.serialize();
@@ -93,15 +91,21 @@ void FuzzerNode::tick() {
             default: {
                 // Truncated transport header: a valid IPv4 envelope whose
                 // payload is too short for the declared protocol.
-                p.protocol = rng_.chance(0.5) ? wire::IpProto::kTcp : wire::IpProto::kUdp;
-                p.payload.assign(rng_.next_below(8), 0);
-                for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng_.next_u64());
+                p.protocol = rng.chance(0.5) ? wire::IpProto::kTcp : wire::IpProto::kUdp;
+                p.payload.assign(rng.next_below(8), 0);
+                for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng.next_u64());
                 break;
             }
         }
         f.payload = p.serialize();
     }
-    send(0, f);
+    return f;
+}
+
+void FuzzerNode::tick() {
+    if (sent_ >= options_.max_frames) return;
+    ++sent_;
+    send(0, generate_frame(rng_, options_));
     network().scheduler().schedule_after(options_.period, [this] { tick(); });
 }
 

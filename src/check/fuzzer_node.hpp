@@ -31,6 +31,11 @@ public:
     FuzzerNode(std::string name, std::uint64_t seed, wire::MacAddress target);
     FuzzerNode(std::string name, std::uint64_t seed, Options options);
 
+    /// One adversarial frame drawn from `rng` — the corpus generator behind
+    /// tick(), exposed so parser fuzz tests (PcapReader, EthernetFrame) can
+    /// reuse the exact byte distribution without standing up a simulation.
+    static wire::EthernetFrame generate_frame(common::Rng& rng, const Options& options);
+
     void start() override { tick(); }
     void on_frame(sim::PortId, const wire::EthernetFrame&,
                   std::span<const std::uint8_t>) override {}

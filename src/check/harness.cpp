@@ -1,6 +1,7 @@
 #include "check/harness.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -74,6 +75,51 @@ private:
     std::set<std::pair<std::uint32_t, std::uint64_t>> announced_;
 };
 
+/// Feeds the mirror-port frame stream to a FrameRecorder with ground
+/// truth. Origin tracking is by byte identity: the tap remembers recent
+/// attacker transmissions and labels a monitor delivery as an attack when
+/// it matches one of them (the switch mirrors frames verbatim). Matched
+/// entries are consumed so a replayed legit frame marks exactly one
+/// delivery, and stale entries are pruned after a short window.
+class RecorderTap final : public sim::CaptureTap {
+public:
+    RecorderTap(sim::NodeId attacker, sim::NodeId monitor, FrameRecorder* recorder)
+        : attacker_(attacker), monitor_(monitor), recorder_(recorder) {}
+
+    void on_capture(SimTime at, sim::Endpoint from, sim::Endpoint to,
+                    std::span<const std::uint8_t> raw) override {
+        if (from.node == attacker_) {
+            pending_.push_back({at, wire::Bytes{raw.begin(), raw.end()}});
+        }
+        if (to.node != monitor_) return;
+        while (!pending_.empty() && at - pending_.front().at > kMatchWindow) {
+            pending_.pop_front();
+        }
+        bool attack = false;
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->bytes.size() == raw.size() &&
+                std::equal(it->bytes.begin(), it->bytes.end(), raw.begin())) {
+                attack = true;
+                pending_.erase(it);
+                break;
+            }
+        }
+        recorder_->on_monitor_frame(at, attack, raw);
+    }
+
+private:
+    struct Pending {
+        SimTime at;
+        wire::Bytes bytes;
+    };
+    static constexpr Duration kMatchWindow = Duration::millis(100);
+
+    sim::NodeId attacker_;
+    sim::NodeId monitor_;
+    FrameRecorder* recorder_;
+    std::deque<Pending> pending_;
+};
+
 /// All live state of one checked run.
 struct RunState {
     const CheckScenario* scenario = nullptr;
@@ -91,6 +137,7 @@ struct RunState {
     detect::AlertSink alerts;
     crypto::OpCounters crypto_ops;
     std::unique_ptr<CheckTap> tap;
+    std::unique_ptr<RecorderTap> recorder_tap;
     sim::PortId next_port = 0;
     std::uint8_t infra_ips = 0;
     MacAddress dos_mac = MacAddress::local(0xDEAD00);
@@ -382,6 +429,18 @@ void check_step(RunState& rs, const std::vector<std::unique_ptr<Oracle>>& oracle
 
 }  // namespace
 
+std::vector<detect::HostRecord> lan_directory(const CheckScenario& scenario) {
+    std::vector<detect::HostRecord> dir;
+    dir.push_back({"gateway", gateway_ip(), MacAddress::local(1)});
+    if (!scenario.dhcp) {
+        for (std::size_t i = 0; i < scenario.host_count; ++i) {
+            dir.push_back({"host" + std::to_string(i), static_host_ip(i),
+                           MacAddress::local(10 + i)});
+        }
+    }
+    return dir;
+}
+
 RunOutcome Harness::run(const CheckScenario& scenario) const {
     RunState rs;
     rs.scenario = &scenario;
@@ -397,6 +456,11 @@ RunOutcome Harness::run(const CheckScenario& scenario) const {
     const SimTime t0 = SimTime::zero() + scenario.settle;
     rs.tap = std::make_unique<CheckTap>(rs.attacker->mac(), rs.monitor->id(), t0);
     rs.net->add_tap(rs.tap.get());
+    if (recorder_ != nullptr) {
+        rs.recorder_tap =
+            std::make_unique<RecorderTap>(rs.attacker->id(), rs.monitor->id(), recorder_);
+        rs.net->add_tap(rs.recorder_tap.get());
+    }
 
     rs.net->start_all();
     schedule_settle_traffic(rs);

@@ -2,14 +2,33 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/time.hpp"
 #include "detect/registry.hpp"
 
 #include "check/oracle.hpp"
 #include "check/scenario.hpp"
 
 namespace arpsec::check {
+
+/// Observer of the monitor's mirror-port frame stream, with ground truth.
+/// The replay subsystem renders scenarios to labeled pcaps through this
+/// hook; `attacker_origin` is true when the delivered frame byte-matches a
+/// transmission the attacker injected shortly before the mirror copy
+/// arrived (i.e. the frame is a poisoning attempt, not background traffic).
+class FrameRecorder {
+public:
+    virtual ~FrameRecorder() = default;
+    virtual void on_monitor_frame(common::SimTime at, bool attacker_origin,
+                                  std::span<const std::uint8_t> raw) = 0;
+};
+
+/// The (IP, MAC) ground-truth bindings of the LAN a scenario builds:
+/// the gateway plus — for statically addressed scenarios — every host.
+/// Under DHCP only the gateway binding is known ahead of the run.
+[[nodiscard]] std::vector<detect::HostRecord> lan_directory(const CheckScenario& scenario);
 
 /// What one checked run produced.
 struct RunOutcome {
@@ -33,12 +52,21 @@ public:
             const std::vector<std::unique_ptr<Oracle>>& oracles)
         : registry_(&registry), oracles_(&oracles) {}
 
+    /// Streams every frame the mirror port delivers to `recorder` during
+    /// run(), labeled with attacker-origin ground truth. Pass nullptr to
+    /// detach. The recorder must outlive the run.
+    Harness& set_recorder(FrameRecorder* recorder) {
+        recorder_ = recorder;
+        return *this;
+    }
+
     /// Throws std::runtime_error if the scenario names an unknown scheme.
     [[nodiscard]] RunOutcome run(const CheckScenario& scenario) const;
 
 private:
     const detect::Registry* registry_;
     const std::vector<std::unique_ptr<Oracle>>* oracles_;
+    FrameRecorder* recorder_ = nullptr;
 };
 
 }  // namespace arpsec::check

@@ -1,0 +1,15 @@
+#include "common/version.hpp"
+
+#ifndef ARPSEC_GIT_DESCRIBE
+#define ARPSEC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace arpsec::common {
+
+const char* version_string() { return ARPSEC_GIT_DESCRIBE; }
+
+std::string tool_version_line(const std::string& tool) {
+    return "arpsec-" + tool + " " + version_string();
+}
+
+}  // namespace arpsec::common

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+namespace arpsec::common {
+
+/// The build's `git describe --always --dirty --tags` string, captured at
+/// configure time (falls back to the project version outside a checkout).
+/// Every CLI's --version flag prints this through tool_version_line().
+[[nodiscard]] const char* version_string();
+
+/// "arpsec-<tool> <describe>" — the shared --version output format.
+[[nodiscard]] std::string tool_version_line(const std::string& tool);
+
+}  // namespace arpsec::common

@@ -136,6 +136,9 @@ public:
 
     void set_meta(const std::string& key, telemetry::Json value);
     void add(const SweepOutcome& outcome) { sweeps_.push_back(outcome.to_json()); }
+    /// For benches whose points are not ScenarioRunner sweeps (e.g. trace
+    /// replay throughput): append a pre-built sweep entry.
+    void add_json(telemetry::Json sweep) { sweeps_.push_back(std::move(sweep)); }
 
     [[nodiscard]] std::size_t sweep_count() const { return sweeps_.size(); }
 

@@ -137,6 +137,12 @@ const std::map<std::string, std::set<std::string>, std::less<>>& layering() {
         {"check",
          {"check", "exp", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry",
           "wire", "common"}},
+        // Replay sits beside check at the top of the stack: it renders
+        // check scenarios, fans out via exp, and deploys detect schemes —
+        // but nothing may depend back on it.
+        {"replay",
+         {"replay", "check", "exp", "detect", "attack", "host", "l2", "arp", "sim", "crypto",
+          "telemetry", "wire", "common"}},
         {"lint", {"lint", "telemetry", "common"}},
     };
     return kAllowed;

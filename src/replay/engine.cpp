@@ -1,0 +1,178 @@
+#include "replay/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "detect/monitor.hpp"
+#include "l2/switch.hpp"
+#include "sim/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "wire/ethernet.hpp"
+
+namespace arpsec::replay {
+
+using common::Duration;
+using common::SimTime;
+using telemetry::Json;
+
+Json SchemeScore::to_json() const {
+    Json j = Json::object();
+    j["scheme"] = scheme;
+    j["frames"] = frames;
+    j["malformed"] = malformed;
+    j["attack_frames"] = static_cast<std::uint64_t>(attack_frames);
+    j["alerts"] = static_cast<std::uint64_t>(alerts);
+    j["true_positive_alerts"] = static_cast<std::uint64_t>(true_positive_alerts);
+    j["false_positive_alerts"] = static_cast<std::uint64_t>(false_positive_alerts);
+    j["detected_attacks"] = static_cast<std::uint64_t>(detected_attacks);
+    j["precision"] = precision;
+    j["recall"] = recall;
+    j["wall_seconds"] = wall_seconds;
+    j["frames_per_second"] = frames_per_second;
+    j["metrics"] = metrics;
+    return j;
+}
+
+common::Expected<SchemeScore> Engine::run(const LabeledTrace& trace,
+                                          const std::string& scheme_name) const {
+    using Result = common::Expected<SchemeScore>;
+    std::unique_ptr<detect::Scheme> scheme = registry_->make(scheme_name);
+    if (scheme == nullptr) {
+        return Result::failure("replay: unknown scheme '" + scheme_name + "'");
+    }
+
+    // Minimal offline LAN: a switch whose mirror port feeds the monitor.
+    // No hosts — the trace already contains everything the mirror port saw,
+    // so protect_host() never applies at this vantage (documented in
+    // docs/REPLAY.md: active-verification probes cannot be answered by a
+    // recording, which costs best-effort schemes recall here).
+    telemetry::MetricsRegistry metrics;
+    sim::Network net{trace.seed == 0 ? 1 : trace.seed};
+    net.attach_metrics(metrics);
+    auto& fabric = net.emplace_node<l2::Switch>("switch", std::size_t{16});
+    auto& monitor =
+        net.emplace_node<detect::MonitorNode>("monitor", wire::MacAddress::local(0x999));
+    net.connect(sim::Endpoint{monitor.id(), 0}, sim::Endpoint{fabric.id(), 0});
+    fabric.set_mirror_port(0);
+    fabric.set_trusted_port(0, true);
+
+    detect::AlertSink alerts;
+    crypto::OpCounters ops;
+    sim::PortId next_port = 1;
+    detect::DeploymentContext ctx;
+    ctx.net = &net;
+    ctx.fabric = &fabric;
+    ctx.alerts = &alerts;
+    ctx.ops = &ops;
+    ctx.directory = trace.directory;
+    ctx.attach_infra = [&net, &fabric, &next_port](sim::NodeId id) {
+        const sim::PortId port = next_port++;
+        net.connect(sim::Endpoint{id, 0}, sim::Endpoint{fabric.id(), port});
+        fabric.set_trusted_port(port, true);
+        return port;
+    };
+    std::uint8_t infra_ips = 0;
+    ctx.alloc_infra_ip = [&infra_ips] {
+        return wire::Ipv4Address{192, 168, 1, static_cast<std::uint8_t>(240 + infra_ips++)};
+    };
+    scheme->deploy(ctx);
+    scheme->configure_switch(fabric);
+    scheme->attach_monitor(monitor);
+    net.start_all();
+
+    SchemeScore score;
+    score.scheme = scheme_name;
+    score.attack_frames = trace.attack_count();
+
+    common::Stopwatch watch;
+    auto& sched = net.scheduler();
+    for (const TraceFrame& f : trace.frames) {
+        if (f.at > net.now()) sched.run_until(f.at);
+        ++score.frames;
+        auto parsed = wire::EthernetFrame::parse(f.bytes);
+        if (!parsed.ok()) {
+            ++score.malformed;
+            continue;
+        }
+        monitor.on_frame(0, parsed.value(), f.bytes);
+    }
+    sched.run_until(trace.last_at() + options_.grace);
+    const double elapsed = watch.elapsed_seconds();
+
+    // Score alerts against ground truth by timestamp proximity: an alert is
+    // justified by any attack frame in the window before it, and an attack
+    // is detected by any alert in the window after it.
+    std::vector<SimTime> attack_times;
+    for (const TraceFrame& f : trace.frames) {
+        if (f.attack) attack_times.push_back(f.at);
+    }
+    const auto window = options_.match_window;
+    for (const detect::Alert& a : alerts.alerts()) {
+        const auto it = std::lower_bound(attack_times.begin(), attack_times.end(),
+                                         SimTime{a.at.nanos() - window.count()});
+        if (it != attack_times.end() && *it <= a.at) {
+            ++score.true_positive_alerts;
+        } else {
+            ++score.false_positive_alerts;
+        }
+    }
+    std::vector<SimTime> alert_times;
+    for (const detect::Alert& a : alerts.alerts()) alert_times.push_back(a.at);
+    std::sort(alert_times.begin(), alert_times.end());
+    for (const SimTime at : attack_times) {
+        const auto it = std::lower_bound(alert_times.begin(), alert_times.end(), at);
+        if (it != alert_times.end() && *it <= at + window) ++score.detected_attacks;
+    }
+
+    score.alerts = alerts.count();
+    score.precision = score.alerts == 0
+                          ? 1.0
+                          : static_cast<double>(score.true_positive_alerts) /
+                                static_cast<double>(score.alerts);
+    score.recall = score.attack_frames == 0
+                       ? 1.0
+                       : static_cast<double>(score.detected_attacks) /
+                             static_cast<double>(score.attack_frames);
+    if (options_.timing && elapsed > 0.0) {
+        score.wall_seconds = elapsed;
+        score.frames_per_second = static_cast<double>(score.frames) / elapsed;
+    }
+
+    metrics.counter("replay.frames").inc(score.frames);
+    metrics.counter("replay.frames.malformed").inc(score.malformed);
+    metrics.counter("replay.frames.attack").inc(score.attack_frames);
+    alerts.export_metrics(metrics);
+    score.metrics = metrics.snapshot_json();
+    return score;
+}
+
+std::vector<exp::Outcome<SchemeScore>> Engine::run_all(const LabeledTrace& trace,
+                                                       const std::vector<std::string>& schemes,
+                                                       std::size_t jobs) const {
+    return exp::map_indexed<SchemeScore>(schemes.size(), jobs, [&](std::size_t i) {
+        auto result = run(trace, schemes[i]);
+        if (!result.ok()) throw std::runtime_error(result.error());
+        return std::move(result).value();
+    });
+}
+
+Json Engine::artifact(const LabeledTrace& trace, const std::vector<SchemeScore>& scores,
+                      const std::string& producer) {
+    Json j = Json::object();
+    j["schema"] = kSchema;
+    j["producer"] = producer;
+    Json t = Json::object();
+    t["origin"] = trace.origin;
+    t["seed"] = trace.seed;
+    t["frames"] = static_cast<std::uint64_t>(trace.frames.size());
+    t["attack_frames"] = static_cast<std::uint64_t>(trace.attack_count());
+    t["duration_seconds"] = trace.last_at().to_seconds();
+    j["trace"] = std::move(t);
+    Json rows = Json::array();
+    for (const SchemeScore& s : scores) rows.push_back(s.to_json());
+    j["schemes"] = std::move(rows);
+    return j;
+}
+
+}  // namespace arpsec::replay

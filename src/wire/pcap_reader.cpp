@@ -1,0 +1,122 @@
+#include "wire/pcap_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace arpsec::wire {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicroLe = 0xa1b2c3d4u;
+constexpr std::uint32_t kMagicMicroBe = 0xd4c3b2a1u;
+constexpr std::uint32_t kMagicNanoLe = 0xa1b23c4du;
+constexpr std::uint32_t kMagicNanoBe = 0x4d3cb2a1u;
+
+// pcap headers use the capturer's native byte order, announced by the magic;
+// ByteReader is fixed network order, so decode with an order flag instead.
+std::uint32_t read_u32(std::span<const std::uint8_t> data, std::size_t off, bool swapped) {
+    const auto b0 = static_cast<std::uint32_t>(data[off]);
+    const auto b1 = static_cast<std::uint32_t>(data[off + 1]);
+    const auto b2 = static_cast<std::uint32_t>(data[off + 2]);
+    const auto b3 = static_cast<std::uint32_t>(data[off + 3]);
+    if (swapped) return (b0 << 24) | (b1 << 16) | (b2 << 8) | b3;
+    return (b3 << 24) | (b2 << 16) | (b1 << 8) | b0;
+}
+
+std::string fmt_error(const std::string& what, std::size_t offset) {
+    std::ostringstream os;
+    os << "pcap: " << what << " at offset " << offset;
+    return os.str();
+}
+
+}  // namespace
+
+common::Expected<PcapTrace> PcapReader::parse(std::span<const std::uint8_t> data) {
+    using Result = common::Expected<PcapTrace>;
+    if (data.size() < kGlobalHeaderSize) {
+        return Result::failure("pcap: file too short for the 24-byte global header (" +
+                               std::to_string(data.size()) + " bytes)");
+    }
+
+    const std::uint32_t magic = read_u32(data, 0, /*swapped=*/false);
+    PcapTrace trace;
+    switch (magic) {
+        case kMagicMicroLe:
+            break;
+        case kMagicNanoLe:
+            trace.nanosecond = true;
+            break;
+        case kMagicMicroBe:
+            trace.big_endian = true;
+            break;
+        case kMagicNanoBe:
+            trace.big_endian = true;
+            trace.nanosecond = true;
+            break;
+        default: {
+            std::ostringstream os;
+            os << "pcap: unrecognized magic 0x" << std::hex << magic;
+            return Result::failure(os.str());
+        }
+    }
+
+    // On a little-endian host the byte-swapped magics mean "decode big-endian".
+    const bool swapped = trace.big_endian;
+    trace.snaplen = read_u32(data, 16, swapped);
+    trace.link_type = read_u32(data, 20, swapped);
+
+    std::size_t off = kGlobalHeaderSize;
+    while (off < data.size()) {
+        if (data.size() - off < kRecordHeaderSize) {
+            return Result::failure(fmt_error(
+                "truncated record header in record #" + std::to_string(trace.records.size()),
+                off));
+        }
+        const std::uint32_t ts_sec = read_u32(data, off, swapped);
+        const std::uint32_t ts_frac = read_u32(data, off + 4, swapped);
+        const std::uint32_t incl_len = read_u32(data, off + 8, swapped);
+        const std::uint32_t orig_len = read_u32(data, off + 12, swapped);
+        off += kRecordHeaderSize;
+
+        if (incl_len > trace.snaplen && incl_len > 0x0004'0000u) {
+            // Far beyond any plausible snap length: a corrupt length field
+            // would otherwise drag the cursor past unrelated bytes.
+            return Result::failure(fmt_error(
+                "implausible captured length " + std::to_string(incl_len) + " in record #" +
+                    std::to_string(trace.records.size()),
+                off - kRecordHeaderSize));
+        }
+        if (data.size() - off < incl_len) {
+            return Result::failure(fmt_error(
+                "truncated record body in record #" + std::to_string(trace.records.size()) +
+                    " (want " + std::to_string(incl_len) + " bytes, have " +
+                    std::to_string(data.size() - off) + ")",
+                off));
+        }
+
+        PcapRecord rec;
+        const std::int64_t frac_nanos =
+            trace.nanosecond ? static_cast<std::int64_t>(ts_frac)
+                             : static_cast<std::int64_t>(ts_frac) * 1000;
+        rec.at = common::SimTime{static_cast<std::int64_t>(ts_sec) * 1'000'000'000 + frac_nanos};
+        rec.orig_len = orig_len;
+        rec.bytes.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                         data.begin() + static_cast<std::ptrdiff_t>(off + incl_len));
+        trace.records.push_back(std::move(rec));
+        off += incl_len;
+    }
+    return Result{std::move(trace)};
+}
+
+common::Expected<PcapTrace> PcapReader::read_file(const std::string& path) {
+    using Result = common::Expected<PcapTrace>;
+    std::ifstream in{path, std::ios::binary};
+    if (!in) return Result::failure("pcap: cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string raw = buf.str();
+    return parse(std::span<const std::uint8_t>{
+        reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()});
+}
+
+}  // namespace arpsec::wire

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/time.hpp"
+#include "wire/buffer.hpp"
+
+namespace arpsec::wire {
+
+/// One captured frame: timestamp, the captured bytes (caplen), and the
+/// original on-wire length (orig_len >= bytes.size() when the capture was
+/// snapped).
+struct PcapRecord {
+    common::SimTime at;
+    std::uint32_t orig_len = 0;
+    Bytes bytes;
+};
+
+/// A fully parsed classic-pcap capture file.
+struct PcapTrace {
+    std::uint32_t link_type = 1;  // LINKTYPE_ETHERNET
+    std::uint32_t snaplen = 65535;
+    bool nanosecond = false;      // nanosecond-resolution magic variant
+    bool big_endian = false;      // file written on a big-endian capturer
+    std::vector<PcapRecord> records;
+};
+
+/// Reads classic libpcap captures (the input half of PcapWriter): both byte
+/// orders (magic 0xa1b2c3d4 and its swap) and both timestamp resolutions
+/// (microsecond 0xa1b2c3d4, nanosecond 0xa1b23c4d). Every read is bounds
+/// checked; malformed or truncated input is surfaced as a typed
+/// common::Expected failure naming the offending record — parsers in
+/// src/wire/ never assert on attacker-controlled bytes.
+class PcapReader {
+public:
+    static constexpr std::size_t kGlobalHeaderSize = 24;
+    static constexpr std::size_t kRecordHeaderSize = 16;
+
+    /// Parses a whole capture from memory.
+    static common::Expected<PcapTrace> parse(std::span<const std::uint8_t> data);
+
+    /// Reads and parses `path`; I/O problems are failures too.
+    static common::Expected<PcapTrace> read_file(const std::string& path);
+};
+
+}  // namespace arpsec::wire

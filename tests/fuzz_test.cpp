@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
+
 #include "check/fuzzer_node.hpp"
 #include "detect/monitor.hpp"
 #include "detect/registry.hpp"
@@ -15,6 +18,7 @@
 #include "host/tcp.hpp"
 #include "l2/switch.hpp"
 #include "sim/network.hpp"
+#include "wire/pcap_reader.hpp"
 
 namespace arpsec {
 namespace {
@@ -150,6 +154,95 @@ TEST(FuzzerNodeTest, DeterministicPerSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest, ::testing::Values(1, 42, 777, 31337));
+
+// ---------------------------------------------------------------------------
+// PcapReader fuzz: the replay ingestion path parses attacker-controlled
+// files, so it gets the same adversarial corpus as the wire parsers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void le32(Bytes& out, std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// A structurally valid pcap carrying FuzzerNode-generated frames.
+Bytes fuzzed_capture(common::Rng& rng, std::size_t records) {
+    FuzzerNode::Options opts;
+    opts.target = MacAddress::local(10);
+    Bytes data;
+    le32(data, 0xa1b2c3d4u);
+    le32(data, 0x00040002u);  // version 2.4 (LE)
+    le32(data, 0);
+    le32(data, 0);
+    le32(data, 65535);
+    le32(data, 1);
+    for (std::size_t i = 0; i < records; ++i) {
+        const Bytes frame = FuzzerNode::generate_frame(rng, opts).serialize();
+        le32(data, static_cast<std::uint32_t>(i));  // ts_sec
+        le32(data, static_cast<std::uint32_t>(rng.next_below(1000000)));
+        le32(data, static_cast<std::uint32_t>(frame.size()));
+        le32(data, static_cast<std::uint32_t>(frame.size()));
+        data.insert(data.end(), frame.begin(), frame.end());
+    }
+    return data;
+}
+
+}  // namespace
+
+class PcapReaderFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PcapReaderFuzzTest, ParsesWellFormedFuzzedCaptures) {
+    common::Rng rng(GetParam());
+    const Bytes data = fuzzed_capture(rng, 50);
+    const auto trace = wire::PcapReader::parse(data);
+    ASSERT_TRUE(trace.ok()) << trace.error();
+    EXPECT_EQ(trace->records.size(), 50u);
+}
+
+TEST_P(PcapReaderFuzzTest, SurvivesTruncationAtEveryLength) {
+    // Every prefix of a valid capture must parse or fail with a typed
+    // error — never crash, never read past the end (ASan/UBSan enforce).
+    common::Rng rng(GetParam() ^ 0x7137);
+    const Bytes data = fuzzed_capture(rng, 8);
+    for (std::size_t len = 0; len <= data.size(); ++len) {
+        const auto trace =
+            wire::PcapReader::parse(std::span<const std::uint8_t>{data.data(), len});
+        if (!trace.ok()) EXPECT_FALSE(trace.error().empty()) << "length " << len;
+    }
+}
+
+TEST_P(PcapReaderFuzzTest, SurvivesByteMutations) {
+    common::Rng rng(GetParam() ^ 0xBEEF);
+    Bytes data = fuzzed_capture(rng, 20);
+    for (int round = 0; round < 200; ++round) {
+        Bytes mutated = data;
+        // Flip a handful of bytes anywhere — headers, lengths, bodies.
+        const std::size_t flips = 1 + rng.next_below(8);
+        for (std::size_t i = 0; i < flips; ++i) {
+            mutated[rng.next_below(mutated.size())] =
+                static_cast<std::uint8_t>(rng.next_u64());
+        }
+        const auto trace = wire::PcapReader::parse(mutated);
+        if (!trace.ok()) EXPECT_FALSE(trace.error().empty());
+    }
+}
+
+TEST_P(PcapReaderFuzzTest, SurvivesPureGarbage) {
+    common::Rng rng(GetParam() ^ 0x6A6A);
+    for (int round = 0; round < 100; ++round) {
+        Bytes garbage(rng.next_below(512));
+        for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+        const auto trace = wire::PcapReader::parse(garbage);
+        if (!trace.ok()) EXPECT_FALSE(trace.error().empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcapReaderFuzzTest,
+                         ::testing::Values(1, 42, 777, 31337));
 
 }  // namespace
 }  // namespace arpsec

@@ -215,6 +215,32 @@ TEST(LintLayeringTest, CheckMayDriveSimDetectAndExp) {
                          "include-layering"));
 }
 
+TEST(LintLayeringTest, ReplaySitsBesideCheckAtTheTop) {
+    // The replay engine may drive the whole stack below it...
+    EXPECT_TRUE(run("src/replay/ok.cpp",
+                    "#include \"replay/engine.hpp\"\n"
+                    "#include \"check/scenario_gen.hpp\"\n"
+                    "#include \"exp/executor.hpp\"\n"
+                    "#include \"detect/registry.hpp\"\n"
+                    "#include \"sim/network.hpp\"\n"
+                    "#include \"wire/pcap_reader.hpp\"\n"
+                    "#include \"telemetry/json.hpp\"\n"
+                    "#include \"common/expected.hpp\"\n")
+                    .empty());
+    // ...but, like check, not core.
+    EXPECT_TRUE(has_rule(run("src/replay/bad.cpp", "#include \"core/runner.hpp\"\n"),
+                         "include-layering"));
+}
+
+TEST(LintLayeringTest, NothingDependsBackOnReplay) {
+    for (const char* path : {"src/sim/bad.cpp", "src/detect/bad.cpp", "src/exp/bad.cpp",
+                             "src/wire/bad.cpp", "src/check/bad.cpp"}) {
+        EXPECT_TRUE(has_rule(run(path, "#include \"replay/trace.hpp\"\n"),
+                             "include-layering"))
+            << path;
+    }
+}
+
 TEST(LintLayeringTest, NothingDependsBackOnCheck) {
     // No production module may include the checker — it is a leaf consumer,
     // so a sim/detect/exp refactor can never be blocked by test machinery.

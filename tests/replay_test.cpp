@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/version.hpp"
+#include "detect/registry.hpp"
+#include "replay/engine.hpp"
+#include "replay/source.hpp"
+#include "replay/trace.hpp"
+
+namespace arpsec::replay {
+namespace {
+
+ScenarioTraceSource::Options small_options(std::size_t jobs = 1) {
+    ScenarioTraceSource::Options opts;
+    opts.first_seed = 1;
+    opts.target_frames = 600;
+    opts.jobs = jobs;
+    return opts;
+}
+
+LabeledTrace load_small(std::size_t jobs = 1) {
+    auto trace = ScenarioTraceSource{small_options(jobs)}.load();
+    EXPECT_TRUE(trace.ok()) << trace.error();
+    return trace.value();
+}
+
+bool traces_identical(const LabeledTrace& a, const LabeledTrace& b) {
+    if (a.frames.size() != b.frames.size()) return false;
+    for (std::size_t i = 0; i < a.frames.size(); ++i) {
+        if (a.frames[i].at.nanos() != b.frames[i].at.nanos()) return false;
+        if (a.frames[i].bytes != b.frames[i].bytes) return false;
+        if (a.frames[i].attack != b.frames[i].attack) return false;
+    }
+    if (a.directory.size() != b.directory.size()) return false;
+    for (std::size_t i = 0; i < a.directory.size(); ++i) {
+        if (a.directory[i].name != b.directory[i].name) return false;
+        if (!(a.directory[i].ip == b.directory[i].ip)) return false;
+        if (!(a.directory[i].mac == b.directory[i].mac)) return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Labels sidecar
+// ---------------------------------------------------------------------------
+
+TEST(TraceLabelsTest, JsonRoundTripPreservesEverything) {
+    const LabeledTrace trace = load_small();
+    const TraceLabels labels = labels_of(trace);
+    EXPECT_EQ(labels.frame_count, trace.frames.size());
+    EXPECT_EQ(labels.attack_frames.size(), trace.attack_count());
+    EXPECT_FALSE(labels.directory.empty());
+
+    const std::string text = labels.to_json("replay_test").dump(2);
+    const auto parsed = TraceLabels::parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed->seed, labels.seed);
+    EXPECT_EQ(parsed->frame_count, labels.frame_count);
+    EXPECT_EQ(parsed->attack_frames, labels.attack_frames);
+    ASSERT_EQ(parsed->directory.size(), labels.directory.size());
+    for (std::size_t i = 0; i < labels.directory.size(); ++i) {
+        EXPECT_EQ(parsed->directory[i].name, labels.directory[i].name);
+        EXPECT_EQ(parsed->directory[i].ip, labels.directory[i].ip);
+        EXPECT_EQ(parsed->directory[i].mac, labels.directory[i].mac);
+    }
+}
+
+TEST(TraceLabelsTest, RejectsWrongSchemaAndGarbage) {
+    EXPECT_FALSE(TraceLabels::parse("not json at all").ok());
+    EXPECT_FALSE(TraceLabels::parse("{\"schema\": \"some.other.schema\"}").ok());
+    EXPECT_FALSE(TraceLabels::parse("{}").ok());
+}
+
+TEST(TraceLabelsTest, JoinRejectsDisagreeingSidecar) {
+    const LabeledTrace trace = load_small();
+    wire::PcapTrace pcap;
+    for (const auto& f : trace.frames) {
+        pcap.records.push_back(
+            {f.at, static_cast<std::uint32_t>(f.bytes.size()), f.bytes});
+    }
+
+    TraceLabels wrong_count = labels_of(trace);
+    wrong_count.frame_count += 1;
+    EXPECT_FALSE(join_labels(pcap, wrong_count, "test").ok());
+
+    TraceLabels bad_index = labels_of(trace);
+    bad_index.attack_frames.push_back(trace.frames.size());  // out of range
+    EXPECT_FALSE(join_labels(pcap, bad_index, "test").ok());
+
+    const auto joined = join_labels(pcap, labels_of(trace), "test");
+    ASSERT_TRUE(joined.ok()) << joined.error();
+    EXPECT_TRUE(traces_identical(joined.value(), trace));
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioTraceSource
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioTraceSourceTest, ReachesTargetWithLabeledAttacks) {
+    const LabeledTrace trace = load_small();
+    EXPECT_GE(trace.frames.size(), 600u);
+    EXPECT_GT(trace.attack_count(), 0u);
+    EXPECT_LT(trace.attack_count(), trace.frames.size());
+    EXPECT_FALSE(trace.directory.empty());
+    EXPECT_EQ(trace.origin, "scenario-gen");
+    // Timestamps are monotonically non-decreasing across epoch boundaries.
+    for (std::size_t i = 1; i < trace.frames.size(); ++i) {
+        EXPECT_LE(trace.frames[i - 1].at.nanos(), trace.frames[i].at.nanos())
+            << "frame " << i;
+    }
+}
+
+TEST(ScenarioTraceSourceTest, IdenticalForAnyJobsValue) {
+    const LabeledTrace serial = load_small(1);
+    const LabeledTrace fanned = load_small(3);
+    EXPECT_TRUE(traces_identical(serial, fanned));
+}
+
+// ---------------------------------------------------------------------------
+// write_trace + PcapFileSource
+// ---------------------------------------------------------------------------
+
+TEST(PcapFileSourceTest, RoundTripsThroughDisk) {
+    const LabeledTrace trace = load_small();
+    const std::string pcap = ::testing::TempDir() + "/arpsec_replay_rt.pcap";
+    const std::string labels = pcap + ".labels.json";
+    const auto wrote = write_trace(trace, pcap, labels, "replay_test");
+    ASSERT_TRUE(wrote.ok()) << wrote.error();
+
+    auto loaded = PcapFileSource{pcap, labels}.load();
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    EXPECT_EQ(loaded->origin, pcap);
+    EXPECT_EQ(loaded->seed, trace.seed);
+    ASSERT_EQ(loaded->frames.size(), trace.frames.size());
+    for (std::size_t i = 0; i < trace.frames.size(); ++i) {
+        EXPECT_EQ(loaded->frames[i].bytes, trace.frames[i].bytes) << "frame " << i;
+        EXPECT_EQ(loaded->frames[i].attack, trace.frames[i].attack) << "frame " << i;
+        // Classic pcap stores microseconds: timestamps survive the disk
+        // round trip at µs resolution, sub-µs digits are truncated.
+        EXPECT_EQ(loaded->frames[i].at.nanos(),
+                  trace.frames[i].at.nanos() / 1000 * 1000)
+            << "frame " << i;
+    }
+    ASSERT_EQ(loaded->directory.size(), trace.directory.size());
+    for (std::size_t i = 0; i < trace.directory.size(); ++i) {
+        EXPECT_EQ(loaded->directory[i].name, trace.directory[i].name);
+        EXPECT_EQ(loaded->directory[i].ip, trace.directory[i].ip);
+        EXPECT_EQ(loaded->directory[i].mac, trace.directory[i].mac);
+    }
+    std::remove(pcap.c_str());
+    std::remove(labels.c_str());
+}
+
+TEST(PcapFileSourceTest, MissingSidecarIsATypedError) {
+    const auto loaded =
+        PcapFileSource{"/nonexistent.pcap", "/nonexistent.labels.json"}.load();
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_FALSE(loaded.error().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, MonitorSchemeScoresWellOnItsOwnTraffic) {
+    const LabeledTrace trace = load_small();
+    const detect::Registry registry;
+    EngineOptions opts;
+    opts.timing = false;
+    const Engine engine{registry, opts};
+
+    const auto score = engine.run(trace, "arpwatch");
+    ASSERT_TRUE(score.ok()) << score.error();
+    EXPECT_EQ(score->scheme, "arpwatch");
+    EXPECT_EQ(score->frames, trace.frames.size());
+    EXPECT_EQ(score->malformed, 0u);
+    EXPECT_EQ(score->attack_frames, trace.attack_count());
+    EXPECT_GT(score->alerts, 0u);
+    EXPECT_GT(score->detected_attacks, 0u);
+    EXPECT_GE(score->precision, 0.0);
+    EXPECT_LE(score->precision, 1.0);
+    EXPECT_GT(score->recall, 0.0);
+    EXPECT_LE(score->recall, 1.0);
+    // --no-timing zeroes the nondeterministic fields.
+    EXPECT_EQ(score->wall_seconds, 0.0);
+    EXPECT_EQ(score->frames_per_second, 0.0);
+}
+
+TEST(EngineTest, NullSchemeNeverAlerts) {
+    const LabeledTrace trace = load_small();
+    const detect::Registry registry;
+    EngineOptions opts;
+    opts.timing = false;
+    const auto score = Engine{registry, opts}.run(trace, "none");
+    ASSERT_TRUE(score.ok()) << score.error();
+    EXPECT_EQ(score->alerts, 0u);
+    EXPECT_EQ(score->precision, 1.0);  // vacuous: no alerts fired
+    EXPECT_EQ(score->recall, 0.0);     // attacks exist, none detected
+}
+
+TEST(EngineTest, UnknownSchemeIsATypedError) {
+    const LabeledTrace trace = load_small();
+    const detect::Registry registry;
+    const auto score = Engine{registry}.run(trace, "no-such-scheme");
+    ASSERT_FALSE(score.ok());
+    EXPECT_NE(score.error().find("no-such-scheme"), std::string::npos)
+        << score.error();
+}
+
+TEST(EngineTest, RunAllIsIdenticalForAnyJobsValue) {
+    const LabeledTrace trace = load_small();
+    const detect::Registry registry;
+    EngineOptions opts;
+    opts.timing = false;
+    const Engine engine{registry, opts};
+    const std::vector<std::string> schemes{"none", "arpwatch", "snort-arpspoof",
+                                           "static-entries"};
+
+    const auto serial = engine.run_all(trace, schemes, 1);
+    const auto fanned = engine.run_all(trace, schemes, 4);
+    ASSERT_EQ(serial.size(), schemes.size());
+    ASSERT_EQ(fanned.size(), schemes.size());
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        ASSERT_FALSE(serial[i].failed) << serial[i].error;
+        ASSERT_FALSE(fanned[i].failed) << fanned[i].error;
+        EXPECT_EQ(serial[i].value.to_json().dump(2), fanned[i].value.to_json().dump(2))
+            << schemes[i];
+    }
+}
+
+TEST(EngineTest, ArtifactCarriesSchemaAndScores) {
+    const LabeledTrace trace = load_small();
+    const detect::Registry registry;
+    EngineOptions opts;
+    opts.timing = false;
+    const Engine engine{registry, opts};
+    const auto score = engine.run(trace, "arpwatch");
+    ASSERT_TRUE(score.ok()) << score.error();
+
+    const auto artifact = Engine::artifact(trace, {score.value()}, "replay_test");
+    const auto* schema = artifact.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->as_string(), Engine::kSchema);
+    const auto* schemes = artifact.find("schemes");
+    ASSERT_NE(schemes, nullptr);
+    EXPECT_EQ(schemes->size(), 1u);
+
+    // The envelope survives a serialize/parse cycle.
+    const auto reparsed = telemetry::Json::parse(artifact.dump(2));
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(reparsed->dump(2), artifact.dump(2));
+}
+
+// ---------------------------------------------------------------------------
+// Shared --version plumbing
+// ---------------------------------------------------------------------------
+
+TEST(VersionTest, ToolVersionLineNamesTheTool) {
+    EXPECT_NE(common::version_string(), nullptr);
+    EXPECT_STRNE(common::version_string(), "");
+    const std::string line = common::tool_version_line("replay");
+    EXPECT_NE(line.find("arpsec-replay "), std::string::npos) << line;
+    EXPECT_NE(line.find(common::version_string()), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace arpsec::replay

@@ -25,6 +25,7 @@
 
 #include "check/checker.hpp"
 #include "check/planted.hpp"
+#include "common/version.hpp"
 
 namespace {
 
@@ -43,7 +44,8 @@ int usage(const char* argv0) {
         "  --out PATH        write the text report to PATH as well as stdout\n"
         "  --artifact-dir D  write check-seed-<seed>.json repros for failures\n"
         "  --replay PATH     re-execute a recorded artifact (exit 1 if it fails)\n"
-        "  --planted         with --replay: the artifact used --plant-bug\n",
+        "  --planted         with --replay: the artifact used --plant-bug\n"
+        "  --version         print the build's git describe string and exit\n",
         argv0);
     return 2;
 }
@@ -133,6 +135,9 @@ int main(int argc, char** argv) {
             replay_path = v;
         } else if (arg == "--planted") {
             replay_planted = true;
+        } else if (arg == "--version") {
+            std::puts(arpsec::common::tool_version_line("check").c_str());
+            return 0;
         } else {
             return usage(argv[0]);
         }

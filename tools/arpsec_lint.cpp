@@ -16,17 +16,19 @@
 #include <fstream>
 #include <string>
 
+#include "common/version.hpp"
 #include "lint/linter.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--root DIR] [--json PATH] [--list-rules] [--quiet]\n"
+                 "usage: %s [--root DIR] [--json PATH] [--list-rules] [--quiet] [--version]\n"
                  "  --root DIR    repository root to scan (default: .)\n"
                  "  --json PATH   write an arpsec.lint-report.v1 JSON report\n"
                  "  --list-rules  print the rule catalog and exit\n"
-                 "  --quiet       suppress per-violation output\n",
+                 "  --quiet       suppress per-violation output\n"
+                 "  --version     print the build's git describe string and exit\n",
                  argv0);
     return 2;
 }
@@ -52,6 +54,9 @@ int main(int argc, char** argv) {
             json_path = v;
         } else if (arg == "--list-rules") {
             list_rules = true;
+        } else if (arg == "--version") {
+            std::puts(arpsec::common::tool_version_line("lint").c_str());
+            return 0;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {

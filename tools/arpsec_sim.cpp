@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "common/version.hpp"
 #include "core/artifact.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
@@ -46,6 +47,7 @@ struct Args {
     bool verbose = false;
     bool list = false;
     bool help = false;
+    bool version = false;
     bool sweep = false;
     std::size_t jobs = 1;
     std::size_t seeds = 1;
@@ -71,6 +73,7 @@ void usage() {
     std::puts("  --trace-out FILE       write a Chrome trace_event JSON (chrome://tracing)");
     std::puts("  --trace-jsonl FILE     write the event log as JSON lines");
     std::puts("  --verbose              print alerts as they fire");
+    std::puts("  --version              print the build's git describe string and exit");
     std::puts("");
     std::puts("sweep mode (aggregate table instead of a single run):");
     std::puts("  --sweep                sweep scheme x seed instead of one scenario;");
@@ -93,6 +96,8 @@ bool parse_args(int argc, char** argv, Args& out) {
         };
         if (a == "--help" || a == "-h") {
             out.help = true;
+        } else if (a == "--version") {
+            out.version = true;
         } else if (a == "--list") {
             out.list = true;
         } else if (a == "--verbose") {
@@ -291,6 +296,10 @@ int run_sweep_mode(const Args& args, const core::ScenarioConfig& base_cfg) {
 int main(int argc, char** argv) {
     Args args;
     if (!parse_args(argc, argv, args)) return 2;
+    if (args.version) {
+        std::puts(common::tool_version_line("sim").c_str());
+        return 0;
+    }
     if (args.help) {
         usage();
         return 0;
