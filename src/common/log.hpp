@@ -32,7 +32,7 @@ public:
 
 private:
     static std::atomic<LogLevel> level_;
-    static std::FILE* sink_;  // guarded by the sink mutex in log.cpp
+    static std::FILE* sink_;  // guards: sink_mutex (the file-local mutex in log.cpp)
 };
 
 }  // namespace arpsec::common

@@ -352,7 +352,7 @@ ScenarioResult ScenarioRunner::collect(detect::Scheme& scheme) {
             // DoS efficacy is judged on the targeted victim's own flow.
             r.attack_succeeded = r.victim_flow_attack_window.delivery_ratio() < 0.5;
             break;
-        default:
+        default:  // lint:allow(exhaustive-switch): remaining kinds share the interception test
             r.attack_succeeded = r.attack_window.interception_ratio() > 0.05;
             break;
     }

@@ -97,7 +97,7 @@ void DhcpServer::handle(const DhcpMessage& msg) {
             if (it != leases_.end() && it->second.mac == msg.chaddr) leases_.erase(it);
             break;
         }
-        default:
+        default:  // lint:allow(exhaustive-switch): server ignores client-bound message types
             break;
     }
 }

@@ -404,7 +404,7 @@ void Host::dhcp_handle_reply(const DhcpMessage& msg) {
             ip_.reset();
             dhcp_send_discover();
             break;
-        default:
+        default:  // lint:allow(exhaustive-switch): client ignores server-bound message types
             break;
     }
 }

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "lint/linter.hpp"
+#include "telemetry/json.hpp"
+
+namespace arpsec::lint {
+
+/// A committed snapshot of accepted violations (`arpsec.lint-baseline.v1`):
+/// CI fails only on findings that are not in the snapshot, so a new rule can
+/// land with its existing debt recorded instead of blocking the tree.
+/// Entries key on (file, rule, snippet) — not line numbers — so unrelated
+/// edits that shift code do not invalidate the baseline.
+class Baseline {
+public:
+    struct Entry {
+        std::string file;
+        std::string rule;
+        std::string snippet;
+        [[nodiscard]] bool operator<(const Entry& o) const {
+            if (file != o.file) return file < o.file;
+            if (rule != o.rule) return rule < o.rule;
+            return snippet < o.snippet;
+        }
+    };
+
+    /// Snapshot of the given findings.
+    [[nodiscard]] static Baseline from_violations(const std::vector<Violation>& violations);
+
+    /// Parses an arpsec.lint-baseline.v1 document from `text`.
+    [[nodiscard]] static common::Expected<Baseline> parse(const std::string& text);
+
+    /// Reads and parses the snapshot at `path`.
+    [[nodiscard]] static common::Expected<Baseline> load(const std::string& path);
+
+    [[nodiscard]] bool contains(const Violation& v) const;
+
+    /// Violations not covered by this snapshot (the ones CI should fail on).
+    [[nodiscard]] std::vector<Violation> filter_new(
+        const std::vector<Violation>& violations) const;
+
+    /// Serializes as arpsec.lint-baseline.v1, entries sorted.
+    [[nodiscard]] telemetry::Json to_json() const;
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+private:
+    std::set<Entry> entries_;
+};
+
+}  // namespace arpsec::lint

@@ -6,8 +6,14 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
+
+#include "common/expected.hpp"
+#include "lint/index.hpp"
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
 
 namespace arpsec::lint {
 
@@ -110,44 +116,6 @@ constexpr std::array<std::string_view, 9> kExpectedEntryPoints = {
     "Json::parse",
 };
 
-/// Module dependency closure mirroring src/*/CMakeLists.txt link graphs.
-/// A header in src/<key>/ may only include headers from the listed modules.
-const std::map<std::string, std::set<std::string>, std::less<>>& layering() {
-    static const std::map<std::string, std::set<std::string>, std::less<>> kAllowed = {
-        {"common", {"common"}},
-        {"telemetry", {"telemetry", "common"}},
-        {"wire", {"wire", "common"}},
-        {"crypto", {"crypto", "wire", "common"}},
-        {"sim", {"sim", "telemetry", "wire", "common"}},
-        {"arp", {"arp", "telemetry", "wire", "common"}},
-        {"l2", {"l2", "sim", "telemetry", "wire", "common"}},
-        {"host", {"host", "arp", "sim", "telemetry", "wire", "common"}},
-        {"attack", {"attack", "host", "arp", "sim", "telemetry", "wire", "common"}},
-        {"detect",
-         {"detect", "host", "l2", "arp", "sim", "crypto", "telemetry", "wire", "common"}},
-        {"core",
-         {"core", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry", "wire",
-          "common"}},
-        {"exp",
-         {"exp", "core", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry",
-          "wire", "common"}},
-        // The checker may drive everything below it (fan-out via exp, sim
-        // construction, scheme deployment), but no module lists "check":
-        // nothing in the tree may depend back on the test harness.
-        {"check",
-         {"check", "exp", "detect", "attack", "host", "l2", "arp", "sim", "crypto", "telemetry",
-          "wire", "common"}},
-        // Replay sits beside check at the top of the stack: it renders
-        // check scenarios, fans out via exp, and deploys detect schemes —
-        // but nothing may depend back on it.
-        {"replay",
-         {"replay", "check", "exp", "detect", "attack", "host", "l2", "arp", "sim", "crypto",
-          "telemetry", "wire", "common"}},
-        {"lint", {"lint", "telemetry", "common"}},
-    };
-    return kAllowed;
-}
-
 bool starts_with(std::string_view s, std::string_view prefix) {
     return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
@@ -181,6 +149,17 @@ std::size_t match_paren(std::string_view line, std::size_t open) {
         if (line[i] == ')' && --depth == 0) return i;
     }
     return std::string_view::npos;
+}
+
+/// `src/<module>/...` (anywhere in the path) -> module name, else "".
+std::string module_of(std::string_view path) {
+    const std::size_t src = path.rfind("src/");
+    if (src == std::string_view::npos) return "";
+    if (src != 0 && path[src - 1] != '/') return "";
+    const std::string_view after = path.substr(src + 4);
+    const std::size_t slash = after.find('/');
+    if (slash == std::string_view::npos) return "";
+    return std::string{after.substr(0, slash)};
 }
 
 struct FileContext {
@@ -302,14 +281,17 @@ void check_pragma_once(const FileContext& ctx, std::vector<Violation>& out) {
     for (const auto line : ctx.code_lines) {
         if (trim(line) == "#pragma once") return;
     }
-    out.push_back({std::string{ctx.path}, 1, "pragma-once",
-                   "header is missing '#pragma once'", ""});
+    Violation v{std::string{ctx.path}, 1, "pragma-once",
+                "header is missing '#pragma once'", ""};
+    v.fix_line = 1;
+    v.fix_insert = "#pragma once\n\n";
+    out.push_back(std::move(v));
 }
 
 void check_include_layering(const FileContext& ctx, std::vector<Violation>& out) {
     if (!ctx.in_src || ctx.module.empty()) return;
-    const auto it = layering().find(ctx.module);
-    if (it == layering().end()) return;
+    const auto it = module_layering().find(ctx.module);
+    if (it == module_layering().end()) return;
     // Include paths live inside quotes, which the sanitizer blanks, so this
     // rule reads the raw lines.
     for (std::size_t i = 0; i < ctx.raw_lines.size(); ++i) {
@@ -322,7 +304,7 @@ void check_include_layering(const FileContext& ctx, std::vector<Violation>& out)
         const std::size_t slash = inc.find('/');
         if (slash == std::string_view::npos) continue;
         const std::string_view target = inc.substr(0, slash);
-        if (layering().find(target) == layering().end()) continue;  // not a module path
+        if (module_layering().find(target) == module_layering().end()) continue;
         if (it->second.count(std::string{target}) != 0) continue;
         out.push_back({std::string{ctx.path}, i + 1, "include-layering",
                        "module '" + ctx.module + "' may not include '" + std::string{target} +
@@ -331,123 +313,10 @@ void check_include_layering(const FileContext& ctx, std::vector<Violation>& out)
     }
 }
 
-}  // namespace
-
-const std::vector<RuleInfo>& rule_catalog() {
-    static const std::vector<RuleInfo> kRules = {
-        {"sim-determinism",
-         "no wall-clock / global PRNG identifiers outside common/time.*"},
-        {"no-threads-in-sim",
-         "concurrency only in src/exp/ (threads) and common/log.* (locking)"},
-        {"discarded-expected",
-         "results of Expected-returning parser entry points must be consumed"},
-        {"naked-new", "no raw new/malloc; ownership must be typed"},
-        {"assert-in-parser",
-         "src/wire/ parsers must validate via Expected, not assert()"},
-        {"pragma-once", "every header starts with #pragma once"},
-        {"include-layering",
-         "src/ modules may only include modules they link against"},
-    };
-    return kRules;
-}
-
-std::string strip_comments_and_strings(std::string_view text) {
-    std::string out;
-    out.reserve(text.size());
-    enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-    State state = State::kCode;
-    std::string raw_delim;  // for raw strings: the )delim" terminator
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (state) {
-            case State::kCode:
-                if (c == '/' && next == '/') {
-                    state = State::kLineComment;
-                    out += "  ";
-                    ++i;
-                } else if (c == '/' && next == '*') {
-                    state = State::kBlockComment;
-                    out += "  ";
-                    ++i;
-                } else if (c == 'R' && next == '"' &&
-                           (i == 0 || !ident_char(text[i - 1]))) {
-                    const std::size_t open = text.find('(', i + 2);
-                    if (open == std::string_view::npos) {
-                        out += c;
-                        break;
-                    }
-                    raw_delim = ")" + std::string{text.substr(i + 2, open - (i + 2))} + "\"";
-                    state = State::kRawString;
-                    out += "R\"";
-                    out.append(open - (i + 2) + 1, ' ');
-                    i = open;
-                } else if (c == '"') {
-                    state = State::kString;
-                    out += c;
-                } else if (c == '\'') {
-                    state = State::kChar;
-                    out += c;
-                } else {
-                    out += c;
-                }
-                break;
-            case State::kLineComment:
-                if (c == '\n') {
-                    state = State::kCode;
-                    out += c;
-                } else {
-                    out += ' ';
-                }
-                break;
-            case State::kBlockComment:
-                if (c == '*' && next == '/') {
-                    state = State::kCode;
-                    out += "  ";
-                    ++i;
-                } else {
-                    out += c == '\n' ? '\n' : ' ';
-                }
-                break;
-            case State::kString:
-                if (c == '\\' && next != '\0') {
-                    out += "  ";
-                    ++i;
-                } else if (c == '"') {
-                    state = State::kCode;
-                    out += c;
-                } else {
-                    out += c == '\n' ? '\n' : ' ';
-                }
-                break;
-            case State::kChar:
-                if (c == '\\' && next != '\0') {
-                    out += "  ";
-                    ++i;
-                } else if (c == '\'') {
-                    state = State::kCode;
-                    out += c;
-                } else {
-                    out += c == '\n' ? '\n' : ' ';
-                }
-                break;
-            case State::kRawString:
-                if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-                    state = State::kCode;
-                    out.append(raw_delim.size(), ' ');
-                    out.back() = '"';
-                    i += raw_delim.size() - 1;
-                } else {
-                    out += c == '\n' ? '\n' : ' ';
-                }
-                break;
-        }
-    }
-    return out;
-}
-
-std::vector<Violation> Linter::lint_source(std::string_view path,
-                                           std::string_view text) const {
+/// Full lint of one file, with optional tree-wide facts for the semantic
+/// rules.
+std::vector<Violation> lint_text(std::string_view path, std::string_view text,
+                                 const TreeIndex* tree) {
     const std::string code = strip_comments_and_strings(text);
 
     FileContext ctx;
@@ -456,12 +325,7 @@ std::vector<Violation> Linter::lint_source(std::string_view path,
     ctx.code_lines = split_lines(code);
     ctx.is_header = path.size() >= 4 && path.substr(path.size() - 4) == ".hpp";
     ctx.in_src = starts_with(path, "src/") || path.find("/src/") != std::string_view::npos;
-    if (ctx.in_src) {
-        const std::size_t src = path.rfind("src/");
-        const std::string_view after = path.substr(src + 4);
-        const std::size_t slash = after.find('/');
-        if (slash != std::string_view::npos) ctx.module = std::string{after.substr(0, slash)};
-    }
+    ctx.module = module_of(path);
 
     std::vector<Violation> found;
     check_determinism(ctx, found);
@@ -471,6 +335,13 @@ std::vector<Violation> Linter::lint_source(std::string_view path,
     check_assert_in_parser(ctx, found);
     check_pragma_once(ctx, found);
     check_include_layering(ctx, found);
+
+    const TuIndex tu = build_index(text);
+    const SemanticInput sem{path, ctx.module, tu, tree, ctx.raw_lines};
+    check_untrusted_read_bounds(sem, found);
+    check_exhaustive_switch(sem, found);
+    check_lock_discipline(sem, found);
+    check_symbol_layering(sem, found);
 
     // Apply lint:allow(<rule>) markers from the flagged line or the line
     // above (markers live in comments, so consult the raw text).
@@ -492,9 +363,68 @@ std::vector<Violation> Linter::lint_source(std::string_view path,
     return kept;
 }
 
-std::vector<Violation> Linter::lint_tree(const std::string& root) {
+/// True when `text` is valid UTF-8 (ASCII included); reports the byte offset
+/// of the first bad sequence otherwise.
+std::optional<std::string> utf8_error(std::string_view text) {
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const auto b = static_cast<unsigned char>(text[i]);
+        std::size_t extra = 0;
+        if (b < 0x80U) {
+            i += 1;
+            continue;
+        } else if (b >= 0xC2U && b <= 0xDFU) {
+            extra = 1;
+        } else if (b >= 0xE0U && b <= 0xEFU) {
+            extra = 2;
+        } else if (b >= 0xF0U && b <= 0xF4U) {
+            extra = 3;
+        } else {
+            return "invalid UTF-8 lead byte at offset " + std::to_string(i);
+        }
+        if (i + extra >= text.size()) {
+            return "truncated UTF-8 sequence at offset " + std::to_string(i);
+        }
+        for (std::size_t k = 1; k <= extra; ++k) {
+            const auto c = static_cast<unsigned char>(text[i + k]);
+            if (c < 0x80U || c > 0xBFU) {
+                return "invalid UTF-8 continuation at offset " + std::to_string(i + k);
+            }
+        }
+        // Reject overlong encodings and surrogate halves.
+        const auto c1 = static_cast<unsigned char>(text[i + 1]);
+        if ((b == 0xE0U && c1 < 0xA0U) || (b == 0xEDU && c1 > 0x9FU) ||
+            (b == 0xF0U && c1 < 0x90U) || (b == 0xF4U && c1 > 0x8FU)) {
+            return "non-canonical UTF-8 sequence at offset " + std::to_string(i);
+        }
+        i += 1 + extra;
+    }
+    return std::nullopt;
+}
+
+/// Reads a source file as text, rejecting unreadable files and non-UTF-8
+/// contents with a typed error instead of silently skipping them.
+common::Expected<std::string> read_source_file(const std::filesystem::path& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        return common::Expected<std::string>::failure("cannot open file");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+        return common::Expected<std::string>::failure("read error");
+    }
+    std::string text = buf.str();
+    if (const auto err = utf8_error(text)) {
+        return common::Expected<std::string>::failure("not valid UTF-8: " + *err);
+    }
+    return text;
+}
+
+/// The files lint_tree() scans: every .cpp/.hpp under the code roots, in
+/// sorted path order.
+std::vector<std::filesystem::path> collect_source_files(const std::string& root) {
     namespace fs = std::filesystem;
-    files_scanned_ = 0;
     std::vector<fs::path> files;
     for (const char* dir : {"src", "tests", "tools", "bench", "examples"}) {
         const fs::path base = fs::path{root} / dir;
@@ -506,16 +436,98 @@ std::vector<Violation> Linter::lint_tree(const std::string& root) {
         }
     }
     std::sort(files.begin(), files.end());
+    return files;
+}
 
-    std::vector<Violation> all;
+}  // namespace
+
+std::vector<std::string> scanned_sources(const std::string& root) {
+    std::vector<std::string> out;
+    for (const auto& file : collect_source_files(root)) {
+        auto text = read_source_file(file);
+        if (text) out.push_back(std::move(*text));
+    }
+    return out;
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+    static const std::vector<RuleInfo> kRules = {
+        {"sim-determinism",
+         "no wall-clock / global PRNG identifiers outside common/time.*"},
+        {"no-threads-in-sim",
+         "concurrency only in src/exp/ (threads) and common/log.* (locking)"},
+        {"discarded-expected",
+         "results of Expected-returning parser entry points must be consumed"},
+        {"naked-new", "no raw new/malloc; ownership must be typed"},
+        {"assert-in-parser",
+         "src/wire/ parsers must validate via Expected, not assert()"},
+        {"pragma-once", "every header starts with #pragma once"},
+        {"include-layering",
+         "src/ modules may only include modules they link against"},
+        {"untrusted-read-bounds",
+         "src/wire/ reads of untrusted bytes need a dominating size/require() check"},
+        {"exhaustive-switch",
+         "switches over repo enums cover every enumerator or carry an annotated default"},
+        {"lock-discipline",
+         "fields annotated '// guards: <mutex>' are only touched holding that mutex"},
+        {"symbol-layering",
+         "src/ modules may only name symbols of modules they link against"},
+    };
+    return kRules;
+}
+
+std::string strip_comments_and_strings(std::string_view text) {
+    std::string out{text};
+    for (const Region& region : scan_regions(text)) {
+        if (region.kind == RegionKind::kCode) continue;
+        for (std::size_t i = region.content_begin;
+             i < region.content_end && i < out.size(); ++i) {
+            if (out[i] != '\n') out[i] = ' ';
+        }
+    }
+    return out;
+}
+
+std::vector<Violation> Linter::lint_source(std::string_view path,
+                                           std::string_view text) const {
+    return lint_text(path, text, nullptr);
+}
+
+std::vector<Violation> Linter::lint_tree(const std::string& root) {
+    namespace fs = std::filesystem;
+    files_scanned_ = 0;
+    skipped_.clear();
+    const std::vector<fs::path> files = collect_source_files(root);
+
+    // Pass 1: load every file and merge its symbols into the tree index so
+    // pass 2 can resolve enums, guard annotations, and module symbols across
+    // file boundaries.
+    struct Loaded {
+        std::string rel;
+        std::string text;
+    };
+    std::vector<Loaded> loaded;
+    loaded.reserve(files.size());
+    TreeIndex tree;
     for (const auto& file : files) {
-        std::ifstream in{file, std::ios::binary};
-        if (!in) continue;
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        ++files_scanned_;
         const std::string rel = fs::relative(file, root).generic_string();
-        auto found = lint_source(rel, buf.str());
+        auto text = read_source_file(file);
+        if (!text) {
+            skipped_.push_back({rel, std::move(text).error()});
+            continue;
+        }
+        {
+            const TuIndex tu = build_index(*text);
+            merge_into(tree, module_of(rel), tu);
+        }
+        loaded.push_back({rel, std::move(*text)});
+    }
+
+    // Pass 2: lint against the merged facts.
+    std::vector<Violation> all;
+    for (const Loaded& l : loaded) {
+        ++files_scanned_;
+        auto found = lint_text(l.rel, l.text, &tree);
         all.insert(all.end(), std::make_move_iterator(found.begin()),
                    std::make_move_iterator(found.end()));
     }
@@ -523,11 +535,13 @@ std::vector<Violation> Linter::lint_tree(const std::string& root) {
 }
 
 telemetry::Json Linter::report(const std::vector<Violation>& violations,
-                               std::string_view root, std::size_t files_scanned) {
+                               std::string_view root, std::size_t files_scanned,
+                               const std::vector<SkippedFile>& skipped) {
     telemetry::Json doc = telemetry::Json::object();
     doc["schema"] = "arpsec.lint-report.v1";
     doc["root"] = std::string{root};
     doc["files_scanned"] = static_cast<std::int64_t>(files_scanned);
+    doc["files_skipped"] = static_cast<std::int64_t>(skipped.size());
     doc["violation_count"] = static_cast<std::int64_t>(violations.size());
 
     telemetry::Json counts = telemetry::Json::object();
@@ -540,6 +554,15 @@ telemetry::Json Linter::report(const std::vector<Violation>& violations,
     }
     doc["counts"] = std::move(counts);
 
+    telemetry::Json skipped_list = telemetry::Json::array();
+    for (const auto& s : skipped) {
+        telemetry::Json item = telemetry::Json::object();
+        item["file"] = s.file;
+        item["reason"] = s.reason;
+        skipped_list.push_back(std::move(item));
+    }
+    doc["skipped"] = std::move(skipped_list);
+
     telemetry::Json list = telemetry::Json::array();
     for (const auto& v : violations) {
         telemetry::Json item = telemetry::Json::object();
@@ -548,10 +571,34 @@ telemetry::Json Linter::report(const std::vector<Violation>& violations,
         item["rule"] = v.rule;
         item["message"] = v.message;
         item["snippet"] = v.snippet;
+        item["fixable"] = v.fix_line != 0;
         list.push_back(std::move(item));
     }
     doc["violations"] = std::move(list);
     return doc;
+}
+
+std::string Linter::apply_fixes(std::string_view text,
+                                const std::vector<Violation>& violations) {
+    std::vector<std::pair<std::size_t, const std::string*>> fixes;
+    for (const Violation& v : violations) {
+        if (v.fix_line != 0 && !v.fix_insert.empty()) {
+            fixes.emplace_back(v.fix_line, &v.fix_insert);
+        }
+    }
+    std::stable_sort(fixes.begin(), fixes.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    std::vector<std::size_t> starts{0};
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '\n') starts.push_back(i + 1);
+    }
+    std::string out{text};
+    for (const auto& [line, insert] : fixes) {
+        const std::size_t offset = line - 1 < starts.size() ? starts[line - 1] : out.size();
+        out.insert(offset, *insert);
+    }
+    return out;
 }
 
 }  // namespace arpsec::lint

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/index.hpp"
+#include "lint/linter.hpp"
+
+namespace arpsec::lint {
+
+/// Module dependency closure mirroring src/*/CMakeLists.txt link graphs.
+/// A file in src/<key>/ may only include (include-layering) or name symbols
+/// from (symbol-layering) the listed modules.
+[[nodiscard]] const std::map<std::string, std::set<std::string>, std::less<>>& module_layering();
+
+/// Everything a token-level semantic rule needs about one file. `tree` is
+/// the cross-file fact base from lint_tree pass 1; it is null when linting a
+/// lone source string, in which case rules fall back to per-TU facts.
+struct SemanticInput {
+    std::string_view path;
+    std::string module;  // "" outside src/<module>/
+    const TuIndex& tu;
+    const TreeIndex* tree = nullptr;
+    const std::vector<std::string_view>& raw_lines;
+};
+
+/// untrusted-read-bounds: in src/wire/, bytes arriving through span /
+/// string_view / Bytes parameters and span-typed fields are tainted; an
+/// indexed or multi-byte read (`v[i]`, `v.data()`, `v.front()`, ...) must be
+/// dominated by a size check (`v.size()`, `v.empty()`, `require(...)`).
+void check_untrusted_read_bounds(const SemanticInput& in, std::vector<Violation>& out);
+
+/// exhaustive-switch: a switch whose case labels are enumerators of a
+/// repo-defined enum must either cover every enumerator or carry a default
+/// annotated with `// lint:allow(exhaustive-switch)`.
+void check_exhaustive_switch(const SemanticInput& in, std::vector<Violation>& out);
+
+/// lock-discipline: fields annotated `// guards: <mutex>` may only be
+/// touched in function bodies that constructed a lock_guard / scoped_lock /
+/// unique_lock over that mutex first. Enforced in src/common/, src/exp/,
+/// src/telemetry/.
+void check_lock_discipline(const SemanticInput& in, std::vector<Violation>& out);
+
+/// symbol-layering: `module::Symbol` chains in src/ files are checked
+/// against module_layering(), catching cross-module reach-through that
+/// arrives via transitive includes (which include-layering cannot see).
+void check_symbol_layering(const SemanticInput& in, std::vector<Violation>& out);
+
+}  // namespace arpsec::lint

@@ -1,0 +1,64 @@
+#include "lint/sarif.hpp"
+
+namespace arpsec::lint {
+
+telemetry::Json sarif_report(const std::vector<Violation>& violations) {
+    telemetry::Json doc = telemetry::Json::object();
+    doc["version"] = "2.1.0";
+    doc["$schema"] = "https://json.schemastore.org/sarif-2.1.0.json";
+
+    telemetry::Json rules = telemetry::Json::array();
+    for (const RuleInfo& info : rule_catalog()) {
+        telemetry::Json rule = telemetry::Json::object();
+        rule["id"] = std::string{info.id};
+        telemetry::Json desc = telemetry::Json::object();
+        desc["text"] = std::string{info.summary};
+        rule["shortDescription"] = std::move(desc);
+        telemetry::Json props = telemetry::Json::object();
+        props["tags"] = telemetry::Json::array();
+        props["tags"].push_back("arpsec");
+        rule["properties"] = std::move(props);
+        rules.push_back(std::move(rule));
+    }
+
+    telemetry::Json driver = telemetry::Json::object();
+    driver["name"] = "arpsec-lint";
+    driver["informationUri"] = "docs/STATIC_ANALYSIS.md";
+    driver["rules"] = std::move(rules);
+    telemetry::Json tool = telemetry::Json::object();
+    tool["driver"] = std::move(driver);
+
+    telemetry::Json results = telemetry::Json::array();
+    for (const Violation& v : violations) {
+        telemetry::Json res = telemetry::Json::object();
+        res["ruleId"] = v.rule;
+        res["level"] = "error";
+        telemetry::Json msg = telemetry::Json::object();
+        msg["text"] = v.message;
+        res["message"] = std::move(msg);
+
+        telemetry::Json artifact = telemetry::Json::object();
+        artifact["uri"] = v.file;
+        telemetry::Json region = telemetry::Json::object();
+        region["startLine"] = static_cast<std::int64_t>(v.line == 0 ? 1 : v.line);
+        telemetry::Json phys = telemetry::Json::object();
+        phys["artifactLocation"] = std::move(artifact);
+        phys["region"] = std::move(region);
+        telemetry::Json loc = telemetry::Json::object();
+        loc["physicalLocation"] = std::move(phys);
+        telemetry::Json locs = telemetry::Json::array();
+        locs.push_back(std::move(loc));
+        res["locations"] = std::move(locs);
+        results.push_back(std::move(res));
+    }
+
+    telemetry::Json run = telemetry::Json::object();
+    run["tool"] = std::move(tool);
+    run["results"] = std::move(results);
+    telemetry::Json runs = telemetry::Json::array();
+    runs.push_back(std::move(run));
+    doc["runs"] = std::move(runs);
+    return doc;
+}
+
+}  // namespace arpsec::lint

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <vector>
+
+#include "lint/linter.hpp"
+#include "telemetry/json.hpp"
+
+namespace arpsec::lint {
+
+/// Renders violations as a SARIF 2.1.0 document (one run, driver
+/// "arpsec-lint", rule metadata from rule_catalog()), consumable by GitHub
+/// code scanning and SARIF viewers.
+[[nodiscard]] telemetry::Json sarif_report(const std::vector<Violation>& violations);
+
+}  // namespace arpsec::lint

@@ -36,6 +36,7 @@ public:
         out_.insert(out_.end(), m.octets().begin(), m.octets().end());
     }
     void ipv4(const Ipv4Address& a) { u32(a.value()); }
+    // lint:allow(untrusted-read-bounds): a full-range copy is bounded by the span itself
     void bytes(std::span<const std::uint8_t> b) { out_.insert(out_.end(), b.begin(), b.end()); }
     void fill(std::size_t n, std::uint8_t value = 0) { out_.insert(out_.end(), n, value); }
 

@@ -15,6 +15,7 @@ constexpr std::uint32_t kMagicNanoBe = 0x4d3cb2a1u;
 // pcap headers use the capturer's native byte order, announced by the magic;
 // ByteReader is fixed network order, so decode with an order flag instead.
 std::uint32_t read_u32(std::span<const std::uint8_t> data, std::size_t off, bool swapped) {
+    if (off + 4 > data.size()) return 0;  // callers bound off; keep the read total anyway
     const auto b0 = static_cast<std::uint32_t>(data[off]);
     const auto b1 = static_cast<std::uint32_t>(data[off + 1]);
     const auto b2 = static_cast<std::uint32_t>(data[off + 2]);

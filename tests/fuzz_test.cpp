@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "check/fuzzer_node.hpp"
 #include "detect/monitor.hpp"
+#include "lint/lexer.hpp"
+#include "lint/linter.hpp"
 #include "detect/registry.hpp"
 #include "host/host.hpp"
 #include "host/tcp.hpp"
@@ -243,6 +247,75 @@ TEST_P(PcapReaderFuzzTest, SurvivesPureGarbage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PcapReaderFuzzTest,
                          ::testing::Values(1, 42, 777, 31337));
+
+// ---------------------------------------------------------------------------
+// Lexer fuzz: arpsec-lint's lexer runs over every file in the tree, including
+// whatever a contributor manages to commit, so it gets the same adversarial
+// corpus. Invariants: never crash, every token span stays inside the input
+// and round-trips through substr.
+// ---------------------------------------------------------------------------
+
+void check_lex_invariants(const std::string& input) {
+    const auto tokens = lint::lex(input);
+    for (const lint::Token& t : tokens) {
+        ASSERT_LE(t.offset, input.size());
+        ASSERT_LE(t.text.size(), input.size() - t.offset);
+        ASSERT_EQ(std::string_view{input}.substr(t.offset, t.text.size()), t.text);
+        ASSERT_GE(t.line, 1u);
+        ASSERT_GE(t.col, 1u);
+        ASSERT_FALSE(t.text.empty());
+    }
+    // The stripper shares the region scanner; it must preserve length and
+    // line structure on any input.
+    const std::string stripped = lint::strip_comments_and_strings(input);
+    ASSERT_EQ(stripped.size(), input.size());
+    ASSERT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+              std::count(input.begin(), input.end(), '\n'));
+}
+
+class LexerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LexerFuzzTest, SurvivesFuzzerNodeCorpus) {
+    // Raw adversarial frames reinterpreted as "source text": arbitrary
+    // bytes, embedded NULs, no trailing newline.
+    common::Rng rng(GetParam() ^ 0x1E0);
+    FuzzerNode::Options opts;
+    opts.target = MacAddress::local(10);
+    for (int round = 0; round < 200; ++round) {
+        const Bytes frame = FuzzerNode::generate_frame(rng, opts).serialize();
+        check_lex_invariants(std::string{frame.begin(), frame.end()});
+    }
+}
+
+TEST_P(LexerFuzzTest, SurvivesMutatedSource) {
+    // Start from plausible C++ and corrupt it: unterminated literals, raw
+    // strings with mangled delimiters, stray quotes and separators.
+    const std::string seedling =
+        "#include <vector>\n"
+        "auto r = u8R\"x(raw \" text)x\"; int n = 1'000;\n"
+        "const char* s = \"esc \\\" ape\"; char c = '\\n';\n"
+        "int f(std::span<const std::uint8_t> d) { return d[0] << 8; } // tail\n";
+    common::Rng rng(GetParam() ^ 0x1E1);
+    for (int round = 0; round < 300; ++round) {
+        std::string mutated = seedling;
+        const std::size_t flips = 1 + rng.next_below(6);
+        for (std::size_t i = 0; i < flips; ++i) {
+            mutated[rng.next_below(mutated.size())] =
+                static_cast<char>(rng.next_u64());
+        }
+        check_lex_invariants(mutated);
+    }
+}
+
+TEST_P(LexerFuzzTest, SurvivesTruncationAtEveryLength) {
+    const std::string source =
+        "auto a = R\"delim(body)delim\"; /* block */ auto b = 0x1'F2p3; // eol\n";
+    for (std::size_t len = 0; len <= source.size(); ++len) {
+        check_lex_invariants(source.substr(0, len));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LexerFuzzTest, ::testing::Values(1, 42, 777, 31337));
 
 }  // namespace
 }  // namespace arpsec
