@@ -34,26 +34,25 @@ public:
     ReplyCapture(MacAddress from_mac, Ipv4Address to_ip) : from_(from_mac), to_ip_(to_ip) {}
 
     void on_capture(common::SimTime, sim::Endpoint, sim::Endpoint,
-                    std::span<const std::uint8_t> raw) override {
+                    const wire::FrameView& view) override {
         if (captured_) return;
-        auto frame = EthernetFrame::parse(raw);
-        if (!frame.ok() || frame->src != from_ || frame->ether_type != wire::EtherType::kArp) {
+        if (!view.ok() || view.src() != from_ || view.ether_type() != wire::EtherType::kArp) {
             return;
         }
-        auto arp = wire::ArpPacket::parse(frame->payload);
-        if (!arp.ok() || arp->op != wire::ArpOp::kReply || arp->auth.empty() ||
+        const wire::ArpPacket* arp = view.arp();
+        if (arp == nullptr || arp->op != wire::ArpOp::kReply || arp->auth.empty() ||
             arp->target_ip != to_ip_) {
             return;
         }
-        captured_ = frame.value();
+        captured_ = view;
     }
 
-    [[nodiscard]] const std::optional<EthernetFrame>& frame() const { return captured_; }
+    [[nodiscard]] const std::optional<wire::FrameView>& frame() const { return captured_; }
 
 private:
     MacAddress from_;
     Ipv4Address to_ip_;
-    std::optional<EthernetFrame> captured_;
+    std::optional<wire::FrameView> captured_;
 };
 
 struct ReplayResult {

@@ -236,33 +236,31 @@ void Attacker::cache_flood_tick() {
                                          [this] { cache_flood_tick(); });
 }
 
-void Attacker::on_frame(sim::PortId in_port, const EthernetFrame& frame,
-                        std::span<const std::uint8_t> raw) {
+void Attacker::on_frame(sim::PortId in_port, const wire::FrameView& view) {
     (void)in_port;
-    (void)raw;
-    if (frame.src == config_.mac) return;
-    if (frame.dst != config_.mac && !frame.dst.is_broadcast()) {
+    if (view.src() == config_.mac) return;
+    if (view.dst() != config_.mac && !view.dst().is_broadcast()) {
         ++stats_.frames_sniffed;  // promiscuous capture of diverted traffic
     }
-    switch (frame.ether_type) {
+    switch (view.ether_type()) {
         case EtherType::kArp:
-            handle_arp(frame);
+            handle_arp(view);
             break;
         case EtherType::kIpv4:
-            handle_ipv4(frame);
+            handle_ipv4(view);
             break;
     }
 }
 
-void Attacker::handle_arp(const EthernetFrame& frame) {
-    auto parsed = ArpPacket::parse(frame.payload);
-    if (!parsed.ok()) return;
-    const ArpPacket& pkt = parsed.value();
+void Attacker::handle_arp(const wire::FrameView& view) {
+    const ArpPacket* parsed = view.arp();
+    if (parsed == nullptr) return;
+    const ArpPacket& pkt = *parsed;
     if (pkt.op != ArpOp::kRequest) return;
 
     // Reply-race: answer broadcast requests for the watched IP before the
     // real owner can.
-    if (race_ && pkt.target_ip == race_->spoofed_ip && frame.dst.is_broadcast() &&
+    if (race_ && pkt.target_ip == race_->spoofed_ip && view.dst().is_broadcast() &&
         pkt.sender_mac != config_.mac) {
         const ArpPacket forged = ArpPacket::reply(race_->claimed_mac, race_->spoofed_ip,
                                                   pkt.sender_mac, pkt.sender_ip);
@@ -281,7 +279,7 @@ void Attacker::handle_arp(const EthernetFrame& frame) {
     // Probe spoofing (Antidote-defeat ablation): answer unicast
     // verification probes for IPs we are impersonating.
     for (const Ipv4Address& ip : probe_spoof_ips_) {
-        if (pkt.target_ip == ip && frame.dst == config_.mac) {
+        if (pkt.target_ip == ip && view.dst() == config_.mac) {
             const ArpPacket forged =
                 ArpPacket::reply(config_.mac, ip, pkt.sender_mac, pkt.sender_ip);
             EthernetFrame out;
@@ -309,18 +307,18 @@ void Attacker::handle_arp(const EthernetFrame& frame) {
     }
 }
 
-void Attacker::handle_ipv4(const EthernetFrame& frame) {
+void Attacker::handle_ipv4(const wire::FrameView& view) {
     // Traffic that reaches our NIC but is addressed elsewhere is loot —
     // ARP-diverted (frame dst = our MAC, IP dst = someone else), L2-diverted
     // (MAC cloning / fail-open flooding: frame dst = victim), or broadcast
     // frames carrying *unicast* IP destinations (the broadcast-MAC
     // poisoning vector). Genuine broadcasts (DHCP etc.) are not loot.
-    const bool l2_diverted = frame.dst != config_.mac;
-    auto ip_pkt = Ipv4Packet::parse(frame.payload);
-    if (!ip_pkt.ok()) return;
+    const bool l2_diverted = view.dst() != config_.mac;
+    const Ipv4Packet* ip_pkt = view.ipv4();  // memoized in the shared buffer
+    if (ip_pkt == nullptr) return;
     if (config_.ip && ip_pkt->dst == *config_.ip) return;  // genuinely ours
     if (ip_pkt->dst.is_broadcast()) return;
-    if (frame.dst.is_broadcast() && ip_pkt->dst.is_any()) return;
+    if (view.dst().is_broadcast() && ip_pkt->dst.is_any()) return;
 
     ++stats_.frames_intercepted;
     if (ledger_ != nullptr && ip_pkt->protocol == wire::IpProto::kUdp) {
@@ -336,14 +334,16 @@ void Attacker::handle_ipv4(const EthernetFrame& frame) {
 
     auto it = true_bindings_.find(ip_pkt->dst);
     if (it == true_bindings_.end()) return;  // cannot forward: traffic blackholes
-    EthernetFrame out = frame;
+    // The relay rewrites the header, so this is a new origin frame, not a
+    // zero-copy forward of the intercepted buffer.
+    EthernetFrame out = view.frame();
     out.dst = it->second;
     out.src = config_.mac;
     ++stats_.frames_relayed;
     send(0, out);
 
     if (tcp_rst_injection_ && ip_pkt->protocol == wire::IpProto::kTcp) {
-        inject_rsts_for(ip_pkt.value());
+        inject_rsts_for(*ip_pkt);
     }
 }
 

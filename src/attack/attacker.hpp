@@ -74,8 +74,7 @@ public:
     explicit Attacker(Config config);
 
     void start() override {}
-    void on_frame(sim::PortId in_port, const wire::EthernetFrame& frame,
-                  std::span<const std::uint8_t> raw) override;
+    void on_frame(sim::PortId in_port, const wire::FrameView& view) override;
 
     [[nodiscard]] wire::MacAddress mac() const { return config_.mac; }
     [[nodiscard]] const AttackerStats& stats() const { return stats_; }
@@ -150,11 +149,19 @@ public:
         send(0, frame);
     }
 
+    /// Replays captured bytes exactly: the view's shared buffer goes back
+    /// on the wire verbatim — zero re-serialization, byte-for-byte what the
+    /// original capture carried.
+    void inject_raw(const wire::FrameView& view) {
+        ++stats_.poison_frames_sent;
+        send(0, view);
+    }
+
 private:
     void run_campaign(std::size_t id);
     void send_poison(const PoisonCampaign& c);
-    void handle_arp(const wire::EthernetFrame& frame);
-    void handle_ipv4(const wire::EthernetFrame& frame);
+    void handle_arp(const wire::FrameView& view);
+    void handle_ipv4(const wire::FrameView& view);
     void flood_tick();
 
     Config config_;

@@ -37,8 +37,7 @@ public:
     static wire::EthernetFrame generate_frame(common::Rng& rng, const Options& options);
 
     void start() override { tick(); }
-    void on_frame(sim::PortId, const wire::EthernetFrame&,
-                  std::span<const std::uint8_t>) override {}
+    void on_frame(sim::PortId, const wire::FrameView&) override {}
 
     [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
 

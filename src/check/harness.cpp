@@ -39,26 +39,26 @@ public:
         : attacker_mac_(attacker_mac), monitor_(monitor), settle_end_(settle_end) {}
 
     void on_capture(SimTime at, sim::Endpoint from, sim::Endpoint to,
-                    std::span<const std::uint8_t> raw) override {
+                    const wire::FrameView& view) override {
         (void)from;
-        auto parsed = EthernetFrame::parse(raw);
-        if (!parsed.ok()) return;
-        const EthernetFrame& f = parsed.value();
-        if (f.ether_type != wire::EtherType::kArp) return;
-        if (f.src == attacker_mac_) return;
+        if (!view.ok()) return;
+        if (view.ether_type() != wire::EtherType::kArp) return;
+        if (view.src() == attacker_mac_) return;
         if (at < settle_end_ && legit_frames_.size() < kMaxLegitFrames) {
-            legit_frames_.emplace_back(raw.begin(), raw.end());
+            // Shares the transmit buffer: the pool holds refcounts, and a
+            // later kReplayLegit injection puts these exact bytes back on
+            // the wire with zero copies.
+            legit_frames_.push_back(view.buffer());
         }
         if (to.node == monitor_) {
-            auto arp = ArpPacket::parse(f.payload);
-            if (arp.ok() && !arp.value().sender_ip.is_any()) {
-                announced_.insert({arp.value().sender_ip.value(),
-                                   arp.value().sender_mac.to_u64()});
+            const ArpPacket* arp = view.arp();
+            if (arp != nullptr && !arp->sender_ip.is_any()) {
+                announced_.insert({arp->sender_ip.value(), arp->sender_mac.to_u64()});
             }
         }
     }
 
-    [[nodiscard]] const std::vector<wire::Bytes>& legit_frames() const {
+    [[nodiscard]] const std::vector<wire::FrameBuffer>& legit_frames() const {
         return legit_frames_;
     }
     [[nodiscard]] bool announced(Ipv4Address ip, MacAddress mac) const {
@@ -71,7 +71,7 @@ private:
     MacAddress attacker_mac_;
     sim::NodeId monitor_;
     SimTime settle_end_;
-    std::vector<wire::Bytes> legit_frames_;
+    std::vector<wire::FrameBuffer> legit_frames_;
     std::set<std::pair<std::uint32_t, std::uint64_t>> announced_;
 };
 
@@ -87,18 +87,24 @@ public:
         : attacker_(attacker), monitor_(monitor), recorder_(recorder) {}
 
     void on_capture(SimTime at, sim::Endpoint from, sim::Endpoint to,
-                    std::span<const std::uint8_t> raw) override {
+                    const wire::FrameView& view) override {
         if (from.node == attacker_) {
-            pending_.push_back({at, wire::Bytes{raw.begin(), raw.end()}});
+            // A refcount on the attacker's transmit buffer, not a copy.
+            pending_.push_back({at, view.buffer()});
         }
         if (to.node != monitor_) return;
         while (!pending_.empty() && at - pending_.front().at > kMatchWindow) {
             pending_.pop_front();
         }
+        const auto raw = view.bytes();
         bool attack = false;
         for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-            if (it->bytes.size() == raw.size() &&
-                std::equal(it->bytes.begin(), it->bytes.end(), raw.begin())) {
+            // Mirrored frames share the ingress buffer, so identity catches
+            // the common case; byte equality keeps the oracle exact.
+            const auto pending_bytes = it->buffer.bytes();
+            if (it->buffer.identity() == view.buffer().identity() ||
+                (pending_bytes.size() == raw.size() &&
+                 std::equal(pending_bytes.begin(), pending_bytes.end(), raw.begin()))) {
                 attack = true;
                 pending_.erase(it);
                 break;
@@ -110,7 +116,7 @@ public:
 private:
     struct Pending {
         SimTime at;
-        wire::Bytes bytes;
+        wire::FrameBuffer buffer;
     };
     static constexpr Duration kMatchWindow = Duration::millis(100);
 
@@ -297,8 +303,9 @@ void inject_event(RunState& rs, const InjectedEvent& e) {
     if (e.kind == InjectKind::kReplayLegit) {
         const auto& pool = rs.tap->legit_frames();
         if (pool.empty()) return;
-        auto parsed = EthernetFrame::parse(pool[e.aux % pool.size()]);
-        if (parsed.ok()) rs.attacker->inject_raw(parsed.value());
+        // The pool holds the original transmit buffers: the replayed frame
+        // is the captured allocation itself, bytes and auth trailers intact.
+        rs.attacker->inject_raw(wire::FrameView{pool[e.aux % pool.size()]});
         return;
     }
     if (e.kind == InjectKind::kBenignTraffic) {

@@ -11,9 +11,9 @@ public:
     Prober(ActiveProbeScheme::Options options, std::function<void(Alert)> raise)
         : options_(options), raise_(std::move(raise)) {}
 
-    void on_observed(MonitorNode& monitor, common::SimTime at, const wire::EthernetFrame& frame,
+    void on_observed(MonitorNode& monitor, common::SimTime at, const wire::FrameView& view,
                      const wire::ArpPacket* arp) override {
-        (void)frame;
+        (void)view;
         if (arp == nullptr || arp->sender_ip.is_any() || arp->sender_mac.is_zero()) return;
         const wire::Ipv4Address ip = arp->sender_ip;
         const wire::MacAddress mac = arp->sender_mac;

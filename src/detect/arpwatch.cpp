@@ -9,9 +9,9 @@ public:
     Watcher(Options options, std::function<void(Alert)> raise)
         : options_(options), raise_(std::move(raise)) {}
 
-    void on_observed(MonitorNode&, common::SimTime at, const wire::EthernetFrame& frame,
+    void on_observed(MonitorNode&, common::SimTime at, const wire::FrameView& view,
                      const wire::ArpPacket* arp) override {
-        (void)frame;
+        (void)view;
         if (arp == nullptr) return;
         if (arp->sender_ip.is_any() || arp->sender_mac.is_zero()) return;
         note(at, arp->sender_ip, arp->sender_mac);

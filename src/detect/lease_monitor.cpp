@@ -18,34 +18,44 @@ public:
     Observer(LeaseMonitorScheme::Options options, std::function<void(Alert)> raise)
         : options_(options), raise_(std::move(raise)) {}
 
-    void on_observed(MonitorNode&, SimTime at, const wire::EthernetFrame& frame,
+    void on_observed(MonitorNode&, SimTime at, const wire::FrameView& view,
                      const wire::ArpPacket* arp) override {
         if (arp != nullptr) {
             check_arp(at, *arp);
             return;
         }
-        if (frame.ether_type != wire::EtherType::kIpv4) return;
-        auto ip = wire::Ipv4Packet::parse(frame.payload);
-        if (!ip.ok()) return;
-        if (ip->protocol == wire::IpProto::kUdp) {
+        // Memoized in the shared buffer: at most one IPv4 parse per frame
+        // process-wide, no matter how many schemes snoop the traffic.
+        const wire::Ipv4Packet* ip = view.ipv4();
+        if (ip == nullptr) return;
+        if (ip->protocol == wire::IpProto::kUdp && is_dhcp_port(ip->payload)) {
             if (auto udp = wire::UdpDatagram::parse(ip->payload); udp.ok()) {
-                if (udp->dst_port == wire::DhcpMessage::kClientPort ||
-                    udp->dst_port == wire::DhcpMessage::kServerPort) {
-                    if (auto dhcp = wire::DhcpMessage::parse(udp->payload); dhcp.ok()) {
-                        snoop_dhcp(at, dhcp.value());
-                        return;
-                    }
+                if (auto dhcp = wire::DhcpMessage::parse(udp->payload); dhcp.ok()) {
+                    snoop_dhcp(at, dhcp.value());
+                    return;
                 }
             }
         }
         if (options_.check_ip_traffic && !ip->src.is_any()) {
-            check_source(at, ip->src, frame.src);
+            check_source(at, ip->src, view.src());
         }
     }
 
     [[nodiscard]] std::size_t lease_count() const { return leases_.size(); }
 
 private:
+    /// Cheap dst-port peek before the allocating UDP decode: only DHCP
+    /// traffic is worth a full parse, and on a busy segment almost no
+    /// datagram is DHCP. Non-DHCP (and unparsable) UDP falls through to
+    /// the source check either way, so this only skips wasted work.
+    [[nodiscard]] static bool is_dhcp_port(const wire::Bytes& udp_bytes) {
+        if (udp_bytes.size() < wire::UdpDatagram::kHeaderSize) return false;
+        const auto dst_port =
+            static_cast<std::uint16_t>((udp_bytes[2] << 8) | udp_bytes[3]);
+        return dst_port == wire::DhcpMessage::kClientPort ||
+               dst_port == wire::DhcpMessage::kServerPort;
+    }
+
     struct Lease {
         MacAddress mac;
         SimTime expires;

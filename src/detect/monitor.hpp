@@ -17,9 +17,11 @@ class MonitorNode;
 class TrafficObserver {
 public:
     virtual ~TrafficObserver() = default;
-    /// `arp` is non-null when the frame carries a parsable ARP packet.
+    /// `arp` is non-null when the frame carries a parsable ARP packet (the
+    /// parse is memoized in the shared FrameBuffer, so it happened at most
+    /// once no matter how many schemes observe the frame).
     virtual void on_observed(MonitorNode& monitor, common::SimTime at,
-                             const wire::EthernetFrame& frame, const wire::ArpPacket* arp) = 0;
+                             const wire::FrameView& view, const wire::ArpPacket* arp) = 0;
 };
 
 /// Dedicated passive-monitoring station plugged into the switch mirror
@@ -29,23 +31,20 @@ public:
     MonitorNode(std::string name, wire::MacAddress mac)
         : sim::Node(std::move(name)), mac_(mac) {}
 
-    void on_frame(sim::PortId in_port, const wire::EthernetFrame& frame,
-                  std::span<const std::uint8_t> raw) override {
+    void on_frame(sim::PortId in_port, const wire::FrameView& view) override {
         (void)in_port;
-        (void)raw;
-        if (frame.src == mac_) return;  // our own probes mirrored back
+        if (view.src() == mac_) return;  // our own probes mirrored back
         ++frames_seen_;
-        const wire::ArpPacket* arp = nullptr;
-        wire::ArpPacket parsed;
-        if (frame.ether_type == wire::EtherType::kArp) {
-            if (auto p = wire::ArpPacket::parse(frame.payload); p.ok()) {
-                parsed = p.value();
-                arp = &parsed;
-            }
+        if (observers_.empty()) return;
+        // Memoized in the shared buffer: the first observer of this frame
+        // anywhere in the process paid the only ARP parse.
+        const wire::ArpPacket* arp = view.arp();
+        const common::SimTime at = network().now();
+        // Index loop (size re-read each pass) so observers added during
+        // iteration are picked up without copying the vector per frame.
+        for (std::size_t i = 0; i < observers_.size(); ++i) {
+            observers_[i]->on_observed(*this, at, view, arp);
         }
-        // Copy to guard against observers added during iteration.
-        const auto observers = observers_;
-        for (const auto& obs : observers) obs->on_observed(*this, network().now(), frame, arp);
     }
 
     void add_observer(std::shared_ptr<TrafficObserver> obs) {

@@ -10,21 +10,21 @@ public:
                  std::function<void(Alert)> raise)
         : options_(options), table_(std::move(table)), raise_(std::move(raise)) {}
 
-    void on_observed(MonitorNode&, common::SimTime, const wire::EthernetFrame& frame,
+    void on_observed(MonitorNode&, common::SimTime, const wire::FrameView& view,
                      const wire::ArpPacket* arp) override {
         if (arp == nullptr) return;
 
-        if (options_.check_header_consistency && arp->sender_mac != frame.src) {
+        if (options_.check_header_consistency && arp->sender_mac != view.src()) {
             Alert a;
             a.kind = AlertKind::kInconsistentHeader;
             a.ip = arp->sender_ip;
             a.claimed_mac = arp->sender_mac;
-            a.detail = "ethernet source " + frame.src.to_string() + " != ARP sender";
+            a.detail = "ethernet source " + view.src().to_string() + " != ARP sender";
             raise_(std::move(a));
         }
 
         if (options_.check_unicast_requests && arp->op == wire::ArpOp::kRequest &&
-            frame.dst.is_unicast() && !arp->is_gratuitous()) {
+            view.dst().is_unicast() && !arp->is_gratuitous()) {
             Alert a;
             a.kind = AlertKind::kUnicastRequest;
             a.ip = arp->target_ip;

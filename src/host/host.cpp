@@ -47,20 +47,19 @@ void Host::acquire_ip(Ipv4Address ip) {
 // Frame dispatch
 // --------------------------------------------------------------------------
 
-void Host::on_frame(sim::PortId in_port, const EthernetFrame& frame,
-                    std::span<const std::uint8_t> raw) {
-    (void)raw;
+void Host::on_frame(sim::PortId in_port, const wire::FrameView& view) {
     if (!powered_) return;
     // Non-promiscuous NIC: accept only frames addressed to us or broadcast.
-    if (frame.dst != mac() && !frame.dst.is_broadcast()) return;
-    if (frame.src == mac()) return;  // our own transmissions reflected back
+    const MacAddress dst = view.dst();
+    if (dst != mac() && !dst.is_broadcast()) return;
+    if (view.src() == mac()) return;  // our own transmissions reflected back
 
-    switch (frame.ether_type) {
+    switch (view.ether_type()) {
         case EtherType::kArp:
-            handle_arp(frame, in_port);
+            handle_arp(view, in_port);
             break;
         case EtherType::kIpv4:
-            handle_ipv4(frame);
+            handle_ipv4(view);
             break;
     }
 }
@@ -69,14 +68,16 @@ void Host::on_frame(sim::PortId in_port, const EthernetFrame& frame,
 // ARP engine
 // --------------------------------------------------------------------------
 
-void Host::handle_arp(const EthernetFrame& frame, sim::PortId port) {
-    auto parsed = ArpPacket::parse(frame.payload);
-    if (!parsed.ok()) return;
-    const ArpPacket& pkt = parsed.value();
+void Host::handle_arp(const wire::FrameView& view, sim::PortId port) {
+    // Memoized in the shared buffer — the switch's DAI or the monitor may
+    // already have paid this parse.
+    const ArpPacket* parsed = view.arp();
+    if (parsed == nullptr) return;
+    const ArpPacket& pkt = *parsed;
     ++stats_.arp_received;
 
     ArpRxInfo info;
-    info.frame_src = frame.src;
+    info.frame_src = view.src();
     info.port = port;
     info.gratuitous = pkt.is_gratuitous();
     info.solicited =
@@ -259,16 +260,16 @@ void Host::transmit_udp(Ipv4Address dst, MacAddress dst_mac, std::uint16_t src_p
     });
 }
 
-void Host::handle_ipv4(const EthernetFrame& frame) {
-    auto ip_pkt = Ipv4Packet::parse(frame.payload);
-    if (!ip_pkt.ok()) return;
+void Host::handle_ipv4(const wire::FrameView& view) {
+    const Ipv4Packet* ip_pkt = view.ipv4();  // memoized in the shared buffer
+    if (ip_pkt == nullptr) return;
     const bool for_us = has_ip() && ip_pkt->dst == ip();
     const bool broadcast = ip_pkt->dst.is_broadcast() ||
                            ip_pkt->dst == config_.subnet.broadcast_address();
     if (!for_us && !broadcast) return;
     if (ip_pkt->protocol != wire::IpProto::kUdp) {
         auto it = proto_handlers_.find(static_cast<std::uint8_t>(ip_pkt->protocol));
-        if (it != proto_handlers_.end()) it->second(*this, ip_pkt.value(), frame.src);
+        if (it != proto_handlers_.end()) it->second(*this, *ip_pkt, view.src());
         return;
     }
     auto udp = UdpDatagram::parse(ip_pkt->payload);
@@ -282,7 +283,7 @@ void Host::handle_ipv4(const EthernetFrame& frame) {
     info.dst_ip = ip_pkt->dst;
     info.src_port = udp->src_port;
     info.dst_port = udp->dst_port;
-    info.frame_src = frame.src;
+    info.frame_src = view.src();
     it->second(*this, info, udp->payload);
 }
 

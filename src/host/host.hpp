@@ -113,8 +113,7 @@ public:
     ~Host() override;
 
     void start() override;
-    void on_frame(sim::PortId in_port, const wire::EthernetFrame& frame,
-                  std::span<const std::uint8_t> raw) override;
+    void on_frame(sim::PortId in_port, const wire::FrameView& view) override;
 
     // ---- Identity ----------------------------------------------------------
     [[nodiscard]] const HostConfig& config() const { return config_; }
@@ -198,11 +197,11 @@ private:
     };
 
     // Frame dispatch.
-    void handle_arp(const wire::EthernetFrame& frame, sim::PortId port);
+    void handle_arp(const wire::FrameView& view, sim::PortId port);
     void process_arp_pipeline(const wire::ArpPacket& pkt, const ArpRxInfo& info,
                               std::size_t first_hook);
     void finish_arp_processing(const wire::ArpPacket& pkt, const ArpRxInfo& info);
-    void handle_ipv4(const wire::EthernetFrame& frame);
+    void handle_ipv4(const wire::FrameView& view);
     void arp_request_timeout(wire::Ipv4Address ip);
     void resolution_succeeded(wire::Ipv4Address ip, wire::MacAddress mac);
     [[nodiscard]] wire::Ipv4Address next_hop_for(wire::Ipv4Address dst) const;

@@ -72,9 +72,7 @@ void Switch::add_static_binding(wire::Ipv4Address ip, wire::MacAddress mac, sim:
     emit(SwitchEventKind::kBindingAdded, port, mac, ip, "static binding");
 }
 
-void Switch::on_frame(sim::PortId in_port, const wire::EthernetFrame& frame,
-                      std::span<const std::uint8_t> raw) {
-    (void)raw;
+void Switch::on_frame(sim::PortId in_port, const wire::FrameView& view) {
     ++stats_.received;
 
     if (shut_ports_.count(in_port) != 0) {
@@ -82,34 +80,36 @@ void Switch::on_frame(sim::PortId in_port, const wire::EthernetFrame& frame,
         return;  // err-disabled port: ingress is discarded
     }
 
-    if (apply_port_security(in_port, frame)) {
+    if (apply_port_security(in_port, view)) {
         ++stats_.dropped;
         return;
     }
-    if (snooping_enabled_ && apply_dhcp_snooping(in_port, frame)) {
+    if (snooping_enabled_ && apply_dhcp_snooping(in_port, view)) {
         ++stats_.dropped;
         return;
     }
-    if (dai_.enabled && apply_arp_inspection(in_port, frame)) {
+    if (dai_.enabled && apply_arp_inspection(in_port, view)) {
         ++stats_.dropped;
         return;
     }
 
     // Source learning.
-    if (frame.src.is_unicast() && !frame.src.is_zero()) {
-        const LearnResult r = cam_.learn(frame.src, in_port, network().now());
+    const wire::MacAddress src = view.src();
+    if (src.is_unicast() && !src.is_zero()) {
+        const LearnResult r = cam_.learn(src, in_port, network().now());
         if (r == LearnResult::kTableFull) {
-            emit(SwitchEventKind::kCamFull, in_port, frame.src, {}, "CAM table full");
+            emit(SwitchEventKind::kCamFull, in_port, src, {}, "CAM table full");
         }
     }
 
-    // SPAN mirror: the monitor sees the frame exactly as received.
+    // SPAN mirror: the monitor sees the exact ingress buffer — forwarding
+    // the view shares the origin's bytes, no re-serialization.
     if (mirror_port_ && *mirror_port_ != in_port) {
         ++stats_.mirrored;
-        send(*mirror_port_, frame);
+        send(*mirror_port_, view);
     }
 
-    forward(in_port, frame);
+    forward(in_port, view);
 }
 
 void Switch::set_port_vlan(sim::PortId port, std::uint16_t vlan) { port_vlans_[port] = vlan; }
@@ -119,8 +119,10 @@ std::uint16_t Switch::port_vlan(sim::PortId port) const {
     return it == port_vlans_.end() ? 1 : it->second;
 }
 
-void Switch::forward(sim::PortId in_port, const wire::EthernetFrame& frame) {
+void Switch::forward(sim::PortId in_port, const wire::FrameView& view) {
     const std::uint16_t vlan = port_vlan(in_port);
+    // Every egress port shares the same FrameBuffer: an N-port flood costs
+    // N refcount bumps, not N serializations.
     const auto flood = [&] {
         ++stats_.flooded;
         for (sim::PortId p = 0; p < port_count_; ++p) {
@@ -128,15 +130,16 @@ void Switch::forward(sim::PortId in_port, const wire::EthernetFrame& frame) {
             if (shut_ports_.count(p) != 0) continue;
             if (mirror_port_ && p == *mirror_port_) continue;  // mirror already fed
             if (port_vlan(p) != vlan) continue;                // VLAN confinement
-            send(p, frame);
+            send(p, view);
         }
     };
 
-    if (!frame.dst.is_unicast() || frame.dst.is_broadcast()) {
+    const wire::MacAddress dst = view.dst();
+    if (!dst.is_unicast() || dst.is_broadcast()) {
         flood();
         return;
     }
-    const auto port = cam_.lookup(frame.dst, network().now());
+    const auto port = cam_.lookup(dst, network().now());
     if (!port || port_vlan(*port) != vlan) {
         flood();  // unknown unicast (or cross-VLAN station) floods in-VLAN
         return;
@@ -150,16 +153,17 @@ void Switch::forward(sim::PortId in_port, const wire::EthernetFrame& frame) {
         return;
     }
     ++stats_.unicast_forwarded;
-    send(*port, frame);
+    send(*port, view);
 }
 
-bool Switch::apply_port_security(sim::PortId in_port, const wire::EthernetFrame& frame) {
+bool Switch::apply_port_security(sim::PortId in_port, const wire::FrameView& view) {
     if (!port_security_.enabled || trusted(in_port)) return false;
-    if (frame.src.is_zero() || !frame.src.is_unicast()) return false;
+    const wire::MacAddress src = view.src();
+    if (src.is_zero() || !src.is_unicast()) return false;
     auto& macs = port_macs_[in_port];
-    if (macs.count(frame.src.to_u64()) != 0) return false;
+    if (macs.count(src.to_u64()) != 0) return false;
     if (macs.size() >= port_security_.max_macs_per_port) {
-        emit(SwitchEventKind::kPortSecurityViolation, in_port, frame.src, {},
+        emit(SwitchEventKind::kPortSecurityViolation, in_port, src, {},
              "source MAC limit exceeded");
         if (port_security_.shutdown_on_violation) {
             shutdown_port(in_port, "port-security violation");
@@ -167,25 +171,24 @@ bool Switch::apply_port_security(sim::PortId in_port, const wire::EthernetFrame&
         return true;
     }
     if (port_security_.sticky) {
-        if (auto it = sticky_owner_.find(frame.src.to_u64());
+        if (auto it = sticky_owner_.find(src.to_u64());
             it != sticky_owner_.end() && it->second != in_port) {
-            emit(SwitchEventKind::kPortSecurityViolation, in_port, frame.src, {},
+            emit(SwitchEventKind::kPortSecurityViolation, in_port, src, {},
                  "sticky MAC moved from port " + std::to_string(it->second));
             if (port_security_.shutdown_on_violation) {
                 shutdown_port(in_port, "sticky MAC violation");
             }
             return true;
         }
-        sticky_owner_[frame.src.to_u64()] = in_port;
+        sticky_owner_[src.to_u64()] = in_port;
     }
-    macs.insert(frame.src.to_u64());
+    macs.insert(src.to_u64());
     return false;
 }
 
-bool Switch::apply_dhcp_snooping(sim::PortId in_port, const wire::EthernetFrame& frame) {
-    if (frame.ether_type != wire::EtherType::kIpv4) return false;
-    auto ip = wire::Ipv4Packet::parse(frame.payload);
-    if (!ip.ok() || ip->protocol != wire::IpProto::kUdp) return false;
+bool Switch::apply_dhcp_snooping(sim::PortId in_port, const wire::FrameView& view) {
+    const wire::Ipv4Packet* ip = view.ipv4();  // memoized in the shared buffer
+    if (ip == nullptr || ip->protocol != wire::IpProto::kUdp) return false;
     auto udp = wire::UdpDatagram::parse(ip->payload);
     if (!udp.ok()) return false;
     const bool to_server = udp->dst_port == wire::DhcpMessage::kServerPort;
@@ -196,7 +199,7 @@ bool Switch::apply_dhcp_snooping(sim::PortId in_port, const wire::EthernetFrame&
 
     if (dhcp->is_reply() && !trusted(in_port)) {
         // Server message arriving on an untrusted port: rogue DHCP server.
-        emit(SwitchEventKind::kDhcpSnoopDrop, in_port, frame.src, dhcp->yiaddr,
+        emit(SwitchEventKind::kDhcpSnoopDrop, in_port, view.src(), dhcp->yiaddr,
              "DHCP server message on untrusted port");
         return true;
     }
@@ -218,9 +221,11 @@ bool Switch::apply_dhcp_snooping(sim::PortId in_port, const wire::EthernetFrame&
     return false;
 }
 
-bool Switch::apply_arp_inspection(sim::PortId in_port, const wire::EthernetFrame& frame) {
-    if (frame.ether_type != wire::EtherType::kArp) return false;
+bool Switch::apply_arp_inspection(sim::PortId in_port, const wire::FrameView& view) {
+    if (view.ether_type() != wire::EtherType::kArp) return false;
     if (trusted(in_port)) return false;
+
+    const wire::MacAddress src = view.src();
 
     // Rate limiting (token bucket, Cisco-style policing of untrusted ARP).
     auto& bucket = arp_buckets_[in_port];
@@ -234,19 +239,21 @@ bool Switch::apply_arp_inspection(sim::PortId in_port, const wire::EthernetFrame
     bucket.tokens = std::min(static_cast<double>(dai_.rate_limit_pps), bucket.tokens + refill);
     bucket.last = now;
     if (bucket.tokens < 1.0) {
-        emit(SwitchEventKind::kDaiRateLimited, in_port, frame.src, {}, "ARP rate exceeded");
+        emit(SwitchEventKind::kDaiRateLimited, in_port, src, {}, "ARP rate exceeded");
         if (dai_.err_disable_on_rate) shutdown_port(in_port, "DAI rate limit");
         return true;
     }
     bucket.tokens -= 1.0;
 
-    auto arp = wire::ArpPacket::parse(frame.payload);
-    if (!arp.ok()) {
-        emit(SwitchEventKind::kDaiDrop, in_port, frame.src, {}, "malformed ARP");
+    // Memoized in the shared buffer: whoever parsed this frame's ARP first
+    // (tap, monitor, or us) paid the only parse.
+    const wire::ArpPacket* arp = view.arp();
+    if (arp == nullptr) {
+        emit(SwitchEventKind::kDaiDrop, in_port, src, {}, "malformed ARP");
         return true;
     }
-    if (dai_.validate_src_mac && arp->sender_mac != frame.src) {
-        emit(SwitchEventKind::kDaiDrop, in_port, frame.src, arp->sender_ip,
+    if (dai_.validate_src_mac && arp->sender_mac != src) {
+        emit(SwitchEventKind::kDaiDrop, in_port, src, arp->sender_ip,
              "ARP sender MAC does not match frame source");
         return true;
     }
@@ -256,18 +263,18 @@ bool Switch::apply_arp_inspection(sim::PortId in_port, const wire::EthernetFrame
 
     auto it = bindings_.find(arp->sender_ip);
     if (it == bindings_.end()) {
-        emit(SwitchEventKind::kDaiDrop, in_port, frame.src, arp->sender_ip,
+        emit(SwitchEventKind::kDaiDrop, in_port, src, arp->sender_ip,
              "no snooping binding for sender IP");
         return true;
     }
     const SnoopBinding& b = it->second;
     if (b.expires < now) {
-        emit(SwitchEventKind::kDaiDrop, in_port, frame.src, arp->sender_ip,
+        emit(SwitchEventKind::kDaiDrop, in_port, src, arp->sender_ip,
              "binding expired");
         return true;
     }
     if (b.mac != arp->sender_mac || (b.port != kAnyPort && b.port != in_port)) {
-        emit(SwitchEventKind::kDaiDrop, in_port, frame.src, arp->sender_ip,
+        emit(SwitchEventKind::kDaiDrop, in_port, src, arp->sender_ip,
              "sender binding mismatch (claimed " + arp->sender_mac.to_string() + ")");
         return true;
     }

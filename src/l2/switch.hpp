@@ -78,8 +78,7 @@ public:
     Switch(std::string name, std::size_t port_count, CamConfig cam = {});
 
     void start() override;
-    void on_frame(sim::PortId in_port, const wire::EthernetFrame& frame,
-                  std::span<const std::uint8_t> raw) override;
+    void on_frame(sim::PortId in_port, const wire::FrameView& view) override;
 
     // ---- Managed features -------------------------------------------------
     /// Mirrors every received frame to `port` (SPAN). The detector node
@@ -142,11 +141,11 @@ private:
     void emit(SwitchEventKind kind, sim::PortId port, wire::MacAddress mac, wire::Ipv4Address ip,
               std::string detail);
     void shutdown_port(sim::PortId port, const std::string& why);
-    void forward(sim::PortId in_port, const wire::EthernetFrame& frame);
+    void forward(sim::PortId in_port, const wire::FrameView& view);
     /// Returns true when the frame must be dropped.
-    bool apply_port_security(sim::PortId in_port, const wire::EthernetFrame& frame);
-    bool apply_dhcp_snooping(sim::PortId in_port, const wire::EthernetFrame& frame);
-    bool apply_arp_inspection(sim::PortId in_port, const wire::EthernetFrame& frame);
+    bool apply_port_security(sim::PortId in_port, const wire::FrameView& view);
+    bool apply_dhcp_snooping(sim::PortId in_port, const wire::FrameView& view);
+    bool apply_arp_inspection(sim::PortId in_port, const wire::FrameView& view);
     [[nodiscard]] bool trusted(sim::PortId port) const { return trusted_ports_.count(port) != 0; }
 
     std::size_t port_count_;

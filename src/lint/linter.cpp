@@ -342,6 +342,7 @@ std::vector<Violation> lint_text(std::string_view path, std::string_view text,
     check_exhaustive_switch(sem, found);
     check_lock_discipline(sem, found);
     check_symbol_layering(sem, found);
+    check_no_frame_copy(sem, found);
 
     // Apply lint:allow(<rule>) markers from the flagged line or the line
     // above (markers live in comments, so consult the raw text).
@@ -472,6 +473,9 @@ const std::vector<RuleInfo>& rule_catalog() {
          "fields annotated '// guards: <mutex>' are only touched holding that mutex"},
         {"symbol-layering",
          "src/ modules may only name symbols of modules they link against"},
+        {"no-frame-copy",
+         "outside src/wire/, frames flow through FrameBuffer/FrameView — no "
+         "EthernetFrame serialize()/parse()"},
     };
     return kRules;
 }

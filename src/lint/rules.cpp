@@ -383,6 +383,86 @@ void check_lock_discipline(const SemanticInput& in, std::vector<Violation>& out)
     }
 }
 
+void check_no_frame_copy(const SemanticInput& in, std::vector<Violation>& out) {
+    // src/wire/ owns the frame codec; tests build raw-byte fixtures.
+    if (in.path.find("src/wire/") != std::string_view::npos) return;
+    if (in.path.find("tests/") != std::string_view::npos) return;
+    const std::vector<Token>& tokens = in.tu.tokens;
+
+    // Names declared with an EthernetFrame type: fields, parameters, and
+    // (collected in the scan below) local declarations.
+    std::set<std::string, std::less<>> frames;
+    for (const FieldDef& f : in.tu.fields) {
+        if (type_contains(f.type, "EthernetFrame")) frames.insert(f.name);
+    }
+    for (const FunctionDef& fn : in.tu.functions) {
+        for (const Param& p : fn.params) {
+            if (!p.name.empty() && type_contains(p.type, "EthernetFrame")) {
+                frames.insert(p.name);
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& t = tokens[i];
+        if (!is_ident(t) || t.text != "EthernetFrame") continue;
+        std::size_t j = next_code(tokens, i + 1);
+        if (j >= tokens.size()) break;
+        if (is_punct(tokens[j], "::")) {
+            const std::size_t k = next_code(tokens, j + 1);
+            if (k < tokens.size() && is_ident(tokens[k]) && tokens[k].text == "parse") {
+                out.push_back({std::string{in.path}, t.line, "no-frame-copy",
+                               "EthernetFrame::parse outside src/wire/ re-parses bytes the "
+                               "frame fabric memoizes; read them through a FrameView",
+                               snippet_at(in.raw_lines, t.line)});
+            }
+            continue;
+        }
+        // Local declaration: `[wire::]EthernetFrame [const] [&|*] name ...`.
+        while (j < tokens.size() &&
+               (is_punct(tokens[j], "&") || is_punct(tokens[j], "*") ||
+                (is_ident(tokens[j]) && tokens[j].text == "const"))) {
+            j = next_code(tokens, j + 1);
+        }
+        if (j < tokens.size() && is_ident(tokens[j])) {
+            frames.insert(std::string{tokens[j].text});
+        }
+    }
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& t = tokens[i];
+        if (!is_ident(t)) continue;
+        // `view.frame().serialize()`: re-serializing a FrameView's
+        // materialized frame round-trips bytes the buffer already holds.
+        const bool is_view_frame = t.text == "frame" && i > 0 &&
+                                   (is_punct(tokens[i - 1], ".") || is_punct(tokens[i - 1], "->"));
+        const bool is_frame_value = frames.count(t.text) != 0;
+        if (!is_view_frame && !is_frame_value) continue;
+        std::size_t j = next_code(tokens, i + 1);
+        if (is_view_frame) {
+            // Skip the `()` of the frame() call.
+            if (j >= tokens.size() || !is_punct(tokens[j], "(")) continue;
+            j = next_code(tokens, j + 1);
+            if (j >= tokens.size() || !is_punct(tokens[j], ")")) continue;
+            j = next_code(tokens, j + 1);
+        }
+        if (j >= tokens.size() || !(is_punct(tokens[j], ".") || is_punct(tokens[j], "->"))) {
+            continue;
+        }
+        const std::size_t m = next_code(tokens, j + 1);
+        if (m >= tokens.size() || !is_ident(tokens[m]) || tokens[m].text != "serialize") {
+            continue;
+        }
+        const std::size_t call = next_code(tokens, m + 1);
+        if (call >= tokens.size() || !is_punct(tokens[call], "(")) continue;
+        out.push_back({std::string{in.path}, t.line, "no-frame-copy",
+                       "serializing an EthernetFrame outside src/wire/ copies wire bytes "
+                       "the frame fabric owns; send the frame (origin) or forward its "
+                       "FrameView instead",
+                       snippet_at(in.raw_lines, t.line)});
+    }
+}
+
 void check_symbol_layering(const SemanticInput& in, std::vector<Violation>& out) {
     if (in.module.empty()) return;
     const auto self = module_layering().find(in.module);

@@ -44,6 +44,13 @@ void check_exhaustive_switch(const SemanticInput& in, std::vector<Violation>& ou
 /// src/telemetry/.
 void check_lock_discipline(const SemanticInput& in, std::vector<Violation>& out);
 
+/// no-frame-copy: outside src/wire/ (and tests/, which legitimately build
+/// raw-byte fixtures), Ethernet frames travel through the shared
+/// FrameBuffer / FrameView fabric. `EthernetFrame::parse` re-parses bytes
+/// the fabric already memoized, and `.serialize()` on an EthernetFrame
+/// value re-copies wire bytes that are serialized exactly once, at origin.
+void check_no_frame_copy(const SemanticInput& in, std::vector<Violation>& out);
+
 /// symbol-layering: `module::Symbol` chains in src/ files are checked
 /// against module_layering(), catching cross-module reach-through that
 /// arrives via transitive includes (which include-layering cannot see).

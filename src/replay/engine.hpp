@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "exp/executor.hpp"
 #include "replay/trace.hpp"
 #include "telemetry/json.hpp"
+#include "wire/frame.hpp"
 
 namespace arpsec::replay {
 
@@ -58,12 +60,30 @@ public:
     explicit Engine(const detect::Registry& registry, EngineOptions options = {})
         : registry_(&registry), options_(options) {}
 
-    /// Fails when `scheme` is not registered.
+    /// Wraps every trace frame in a primed FrameView: the Ethernet header
+    /// and (for ARP frames) the payload are parsed exactly once, here, and
+    /// memoized in the shared buffer. Priming on the calling thread is what
+    /// makes the views safe to share across run_all's worker threads — the
+    /// memo is written before any fan-out and only read after.
+    [[nodiscard]] static std::vector<wire::FrameView> make_views(const LabeledTrace& trace);
+
+    /// Fails when `scheme` is not registered. Parses each frame itself;
+    /// prefer the pre-built-views overload when replaying the same trace
+    /// through more than one scheme.
     [[nodiscard]] common::Expected<SchemeScore> run(const LabeledTrace& trace,
                                                     const std::string& scheme) const;
 
+    /// Same, but feeds pre-built views (`views[i]` must wrap
+    /// `trace.frames[i]`, as produced by make_views) so the per-frame parse
+    /// cost is paid once per trace instead of once per (trace, scheme).
+    [[nodiscard]] common::Expected<SchemeScore> run(const LabeledTrace& trace,
+                                                    std::span<const wire::FrameView> views,
+                                                    const std::string& scheme) const;
+
     /// Fans schemes out over exp::map_indexed; scores come back in input
-    /// order, so reports are byte-identical for every `jobs` value.
+    /// order, so reports are byte-identical for every `jobs` value. The
+    /// trace is parsed into shared views once, up front — every scheme and
+    /// every worker replays the same immutable buffers.
     [[nodiscard]] std::vector<exp::Outcome<SchemeScore>> run_all(
         const LabeledTrace& trace, const std::vector<std::string>& schemes,
         std::size_t jobs) const;

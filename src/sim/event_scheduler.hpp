@@ -31,7 +31,16 @@ public:
     bool run_one();
 
     /// Runs events with timestamp <= deadline; leaves now() == deadline.
-    void run_until(common::SimTime deadline);
+    /// Inline fast path: replay calls this once per trace frame, and almost
+    /// always nothing is due — the queue is empty or its head (even a
+    /// lazily-cancelled one, purged later) lies past the deadline.
+    void run_until(common::SimTime deadline) {
+        if (queue_.empty() || queue_.top().at > deadline) {
+            if (now_ < deadline) now_ = deadline;
+            return;
+        }
+        run_until_slow(deadline);
+    }
 
     /// Runs events for the given duration past the current time.
     void run_for(common::Duration d) { run_until(now_ + d); }
@@ -63,6 +72,7 @@ private:
     };
 
     bool fire_next();
+    void run_until_slow(common::SimTime deadline);
 
     common::SimTime now_;
     EventId next_id_ = 1;

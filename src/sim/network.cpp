@@ -52,43 +52,50 @@ Network::Wire* Network::wire_at(Endpoint e) {
 }
 
 void Network::transmit(Endpoint from, const wire::EthernetFrame& frame) {
+    if (wire_at(from) == nullptr) return;  // unplugged: don't serialize into the void
+    counters_.serializations += 1;
+    if (metrics_.serializations != nullptr) metrics_.serializations->inc();
+    transmit(from, wire::FrameView{wire::FrameBuffer::serialize(frame)});
+}
+
+void Network::transmit(Endpoint from, const wire::FrameView& view) {
     Wire* w = wire_at(from);
     if (w == nullptr) return;  // unplugged port: frame vanishes, like real hardware
 
-    const wire::Bytes raw = frame.serialize();
+    const std::size_t raw_size = view.bytes().size();
 
     counters_.frames += 1;
-    counters_.bytes += raw.size();
+    counters_.bytes += raw_size;
     if (metrics_.frames != nullptr) {
         metrics_.frames->inc();
-        metrics_.bytes->inc(raw.size());
+        metrics_.bytes->inc(raw_size);
     }
-    if (frame.ether_type == wire::EtherType::kArp) {
+    if (view.ok() && view.ether_type() == wire::EtherType::kArp) {
         counters_.arp_frames += 1;
-        counters_.arp_bytes += raw.size();
+        counters_.arp_bytes += raw_size;
         if (metrics_.arp_frames != nullptr) {
             metrics_.arp_frames->inc();
-            metrics_.arp_bytes->inc(raw.size());
+            metrics_.arp_bytes->inc(raw_size);
         }
     } else {
         counters_.ipv4_frames += 1;
-        counters_.ipv4_bytes += raw.size();
+        counters_.ipv4_bytes += raw_size;
         if (metrics_.ipv4_frames != nullptr) {
             metrics_.ipv4_frames->inc();
-            metrics_.ipv4_bytes->inc(raw.size());
+            metrics_.ipv4_bytes->inc(raw_size);
         }
     }
 
     // FIFO per link direction: serialization starts when the previous frame
     // has left the NIC.
     const common::SimTime start_tx = std::max(scheduler_.now(), w->next_free);
-    const auto tx_ns = static_cast<std::int64_t>(raw.size() * 8ULL * 1'000'000'000ULL /
+    const auto tx_ns = static_cast<std::int64_t>(raw_size * 8ULL * 1'000'000'000ULL /
                                                  w->config.bandwidth_bps);
     const common::Duration tx_delay{tx_ns};
     w->next_free = start_tx + tx_delay;
     const common::SimTime arrival = start_tx + tx_delay + w->config.latency;
 
-    for (CaptureTap* tap : taps_) tap->on_capture(scheduler_.now(), from, w->peer, raw);
+    for (CaptureTap* tap : taps_) tap->on_capture(scheduler_.now(), from, w->peer, view);
 
     if (w->config.loss_probability > 0.0 && loss_rng_.chance(w->config.loss_probability)) {
         counters_.dropped_frames += 1;
@@ -98,15 +105,16 @@ void Network::transmit(Endpoint from, const wire::EthernetFrame& frame) {
 
     const Endpoint to = w->peer;
     counters_.in_flight_frames += 1;
-    scheduler_.schedule_at(arrival, [this, to, raw = std::move(raw)] {
+    // The closure captures the refcounted view — one shared_ptr bump, never
+    // a byte copy — and the receiver reuses whatever the taps memoized.
+    scheduler_.schedule_at(arrival, [this, to, view] {
         counters_.in_flight_frames -= 1;
         counters_.delivered_frames += 1;
         Node& receiver = node(to.node);
-        auto parsed = wire::EthernetFrame::parse(raw);
-        if (parsed.ok()) {
-            receiver.on_frame(to.port, parsed.value(), raw);
+        if (view.ok()) {
+            receiver.on_frame(to.port, view);
         } else {
-            receiver.on_bad_frame(to.port, raw);
+            receiver.on_bad_frame(to.port, view.bytes());
         }
     });
 }
@@ -114,6 +122,7 @@ void Network::transmit(Endpoint from, const wire::EthernetFrame& frame) {
 void Network::attach_metrics(telemetry::MetricsRegistry& registry) {
     metrics_.frames = &registry.counter("sim.net.frames");
     metrics_.bytes = &registry.counter("sim.net.bytes");
+    metrics_.serializations = &registry.counter("sim.net.serializations");
     metrics_.arp_frames = &registry.counter("sim.net.arp_frames");
     metrics_.arp_bytes = &registry.counter("sim.net.arp_bytes");
     metrics_.ipv4_frames = &registry.counter("sim.net.ipv4_frames");
@@ -132,6 +141,10 @@ void Network::start_all() {
 
 void Node::send(PortId out_port, const wire::EthernetFrame& frame) {
     network().transmit(Endpoint{id(), out_port}, frame);
+}
+
+void Node::send(PortId out_port, const wire::FrameView& view) {
+    network().transmit(Endpoint{id(), out_port}, view);
 }
 
 }  // namespace arpsec::sim

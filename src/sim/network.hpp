@@ -26,18 +26,26 @@ struct LinkConfig {
 
 /// Observes every frame as it is put on a wire. Used for pcap capture and
 /// for network-wide statistics; *schemes* never use global taps (they see
-/// traffic only through their own vantage point).
+/// traffic only through their own vantage point). The view shares the
+/// transmit buffer — taps read, never copy (view.bytes() is the raw wire
+/// stream) — and any header parse a tap performs is memoized for the
+/// eventual receiver.
 class CaptureTap {
 public:
     virtual ~CaptureTap() = default;
     virtual void on_capture(common::SimTime at, Endpoint from, Endpoint to,
-                            std::span<const std::uint8_t> raw) = 0;
+                            const wire::FrameView& view) = 0;
 };
 
 /// Counts of traffic placed on the wire, by EtherType.
 struct TrafficCounters {
     std::uint64_t frames = 0;
     std::uint64_t bytes = 0;
+    /// Frames serialized at origin. Forwarded frames (switch flood/mirror,
+    /// replay injection) share the origin buffer and do not re-serialize,
+    /// so in a flood-heavy run this equals frames *originated*, not frames
+    /// placed on wires.
+    std::uint64_t serializations = 0;
     std::uint64_t arp_frames = 0;
     std::uint64_t arp_bytes = 0;
     std::uint64_t ipv4_frames = 0;
@@ -87,9 +95,16 @@ public:
     /// Connects two node ports with a full-duplex link.
     void connect(Endpoint a, Endpoint b, LinkConfig config = {});
 
-    /// Transmits `frame` out of (from.node, from.port). Models serialization
-    /// delay, FIFO queueing per link direction, propagation delay and loss.
+    /// Originates `frame` out of (from.node, from.port): serializes it into
+    /// a refcounted FrameBuffer exactly once, then transmits the shared
+    /// view. Models serialization delay, FIFO queueing per link direction,
+    /// propagation delay and loss.
     void transmit(Endpoint from, const wire::EthernetFrame& frame);
+
+    /// Forwards an already-serialized frame: the same FrameBuffer flows to
+    /// taps, the loss model, and the delivery closure — no copy, no
+    /// re-serialization, and the receiver reuses any memoized parse.
+    void transmit(Endpoint from, const wire::FrameView& view);
 
     /// Fork a deterministic RNG stream for an entity.
     [[nodiscard]] common::Rng fork_rng(std::uint64_t stream_id) const {
@@ -133,6 +148,7 @@ private:
     struct WireMetrics {
         telemetry::Counter* frames = nullptr;
         telemetry::Counter* bytes = nullptr;
+        telemetry::Counter* serializations = nullptr;
         telemetry::Counter* arp_frames = nullptr;
         telemetry::Counter* arp_bytes = nullptr;
         telemetry::Counter* ipv4_frames = nullptr;

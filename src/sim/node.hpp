@@ -5,6 +5,7 @@
 #include <string>
 
 #include "wire/ethernet.hpp"
+#include "wire/frame.hpp"
 
 namespace arpsec::sim {
 
@@ -38,10 +39,11 @@ public:
     /// Called once, at simulated time zero, after all nodes are wired up.
     virtual void start() {}
 
-    /// A frame arrived on `in_port`. `frame` is the parsed view; `raw` is
-    /// the exact byte stream as it appeared on the wire.
-    virtual void on_frame(PortId in_port, const wire::EthernetFrame& frame,
-                          std::span<const std::uint8_t> raw) = 0;
+    /// A frame arrived on `in_port`. The view shares the origin's
+    /// serialized buffer (never a copy) and memoizes header/ARP parses, so
+    /// however many nodes inspect the frame, it is decoded at most once.
+    /// `view.bytes()` is the exact byte stream as it appeared on the wire.
+    virtual void on_frame(PortId in_port, const wire::FrameView& view) = 0;
 
     /// A frame arrived that failed to parse (corrupted). Default: ignore.
     virtual void on_bad_frame(PortId in_port, std::span<const std::uint8_t> raw) {
@@ -57,8 +59,14 @@ public:
 protected:
     friend class Network;
 
-    /// Transmits a frame out of the given local port.
+    /// Originates a frame out of the given local port: serializes it into
+    /// a fresh FrameBuffer exactly once (counted in sim.net.serializations).
     void send(PortId out_port, const wire::EthernetFrame& frame);
+
+    /// Forwards an already-serialized frame verbatim (switch flood/mirror,
+    /// replay injection): the receiver shares the same FrameBuffer, zero
+    /// re-serialization and zero copies.
+    void send(PortId out_port, const wire::FrameView& view);
 
 private:
     std::string name_;

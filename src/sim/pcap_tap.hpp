@@ -15,10 +15,10 @@ public:
     explicit PcapTap(const std::string& path) : writer_(path) {}
 
     void on_capture(common::SimTime at, Endpoint from, Endpoint to,
-                    std::span<const std::uint8_t> raw) override {
+                    const wire::FrameView& view) override {
         (void)from;
         (void)to;
-        writer_.write(at, raw);
+        writer_.write(at, view.bytes());
     }
 
     [[nodiscard]] std::size_t frames() const { return writer_.frames_written(); }

@@ -26,20 +26,32 @@ Bytes EthernetFrame::serialize() const {
     return out;
 }
 
-common::Expected<EthernetFrame> EthernetFrame::parse(std::span<const std::uint8_t> data) {
-    using R = common::Expected<EthernetFrame>;
+common::Expected<EthernetHeader> parse_ethernet_header(std::span<const std::uint8_t> data) {
+    using R = common::Expected<EthernetHeader>;
     ByteReader r{data};
-    EthernetFrame f;
-    f.dst = r.mac();
-    f.src = r.mac();
+    EthernetHeader h;
+    h.dst = r.mac();
+    h.src = r.mac();
     const std::uint16_t type = r.u16();
     if (!r.ok()) return R::failure("frame shorter than Ethernet header");
     if (type != static_cast<std::uint16_t>(EtherType::kIpv4) &&
         type != static_cast<std::uint16_t>(EtherType::kArp)) {
         return R::failure("unsupported EtherType");
     }
-    f.ether_type = static_cast<EtherType>(type);
-    f.payload = r.rest();
+    h.ether_type = static_cast<EtherType>(type);
+    return h;
+}
+
+common::Expected<EthernetFrame> EthernetFrame::parse(std::span<const std::uint8_t> data) {
+    using R = common::Expected<EthernetFrame>;
+    auto header = parse_ethernet_header(data);
+    if (!header.ok()) return R::failure(header.error());
+    EthernetFrame f;
+    f.dst = header->dst;
+    f.src = header->src;
+    f.ether_type = header->ether_type;
+    // lint:allow(untrusted-read-bounds): parse_ethernet_header() proved size >= kHeaderSize
+    f.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(kHeaderSize), data.end());
     return f;
 }
 

@@ -16,9 +16,22 @@ enum class EtherType : std::uint16_t {
 
 [[nodiscard]] std::string to_string(EtherType t);
 
-/// Ethernet II frame. The simulator serializes frames to wire bytes at
-/// transmit time and re-parses at every receiver, so detectors observe the
-/// exact byte stream a libpcap tap would.
+/// The 14 fixed Ethernet II header bytes, decoded without touching the
+/// payload. FrameView memoizes exactly this, so the header-only parser is
+/// shared with EthernetFrame::parse — the two can never disagree about what
+/// constitutes a valid frame.
+struct EthernetHeader {
+    MacAddress dst;
+    MacAddress src;
+    EtherType ether_type = EtherType::kIpv4;
+};
+
+[[nodiscard]] common::Expected<EthernetHeader> parse_ethernet_header(
+    std::span<const std::uint8_t> data);
+
+/// Ethernet II frame. The simulator serializes each frame to wire bytes
+/// once, at origin (see wire::FrameBuffer); every receiver then reads the
+/// exact byte stream a libpcap tap would through a shared wire::FrameView.
 struct EthernetFrame {
     static constexpr std::size_t kHeaderSize = 14;
     static constexpr std::size_t kMinPayload = 46;   // 802.3 minimum (frames are padded)

@@ -96,12 +96,15 @@ TEST(CamTableTest, FlushPortRemovesOnlyThatPort) {
 class Station final : public sim::Node {
 public:
     explicit Station(std::string name, MacAddress mac) : sim::Node(std::move(name)), mac_(mac) {}
-    void on_frame(PortId, const EthernetFrame& frame, std::span<const std::uint8_t>) override {
-        received.push_back(frame);
+    void on_frame(PortId, const wire::FrameView& view) override {
+        received.push_back(view.frame());
+        buffers.push_back(view.buffer());
     }
     void emit(const EthernetFrame& f) { send(0, f); }
     [[nodiscard]] MacAddress mac() const { return mac_; }
     std::vector<EthernetFrame> received;
+    /// The shared buffers behind `received`, for zero-copy identity checks.
+    std::vector<wire::FrameBuffer> buffers;
 
 private:
     MacAddress mac_;
@@ -176,6 +179,55 @@ TEST(SwitchTest, MirrorPortSeesEverything) {
     // Monitor saw both frames: the flooded one and the mirrored unicast.
     EXPECT_EQ(f.nodes[2]->received.size(), 2u);
     EXPECT_GE(f.sw->forward_stats().mirrored, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy fast path: flood and mirror forward the *same* FrameBuffer —
+// every egress port must observe pointer-identical (not merely byte-equal)
+// buffers, proving the switch never re-serializes a transit frame.
+// ---------------------------------------------------------------------------
+
+TEST(SwitchTest, FloodDeliversPointerIdenticalBuffers) {
+    Fabric f(4);
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    ASSERT_EQ(f.nodes[1]->buffers.size(), 1u);
+    ASSERT_EQ(f.nodes[2]->buffers.size(), 1u);
+    ASSERT_EQ(f.nodes[3]->buffers.size(), 1u);
+    const void* id = f.nodes[1]->buffers[0].identity();
+    ASSERT_NE(id, nullptr);
+    EXPECT_EQ(f.nodes[2]->buffers[0].identity(), id);
+    EXPECT_EQ(f.nodes[3]->buffers[0].identity(), id);
+    // Identity equality implies the bytes are literally shared.
+    EXPECT_EQ(f.nodes[2]->buffers[0].bytes().data(), f.nodes[1]->buffers[0].bytes().data());
+}
+
+TEST(SwitchTest, MirrorDeliversPointerIdenticalBuffer) {
+    Fabric f(3);
+    f.sw->set_mirror_port(2);  // s2 is the monitor
+    // Teach the switch both ports, then send a learned unicast s0 -> s1:
+    // forwarded to s1 and mirrored to s2 from the same ingress buffer.
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    f.nodes[1]->emit(frame_between(f.nodes[1]->mac(), MacAddress::broadcast()));
+    f.run();
+    const std::size_t before_s1 = f.nodes[1]->buffers.size();
+    const std::size_t before_s2 = f.nodes[2]->buffers.size();
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), f.nodes[1]->mac()));
+    f.run();
+    ASSERT_EQ(f.nodes[1]->buffers.size(), before_s1 + 1);
+    ASSERT_EQ(f.nodes[2]->buffers.size(), before_s2 + 1);
+    EXPECT_EQ(f.nodes[1]->buffers.back().identity(), f.nodes[2]->buffers.back().identity());
+}
+
+TEST(SwitchTest, TransitFramesAreNeverReserialized) {
+    // serializations counts frame *origins*; a flood through the switch
+    // must not add to it no matter how many egress ports it fans out to.
+    Fabric f(4);
+    f.nodes[0]->emit(frame_between(f.nodes[0]->mac(), MacAddress::broadcast()));
+    f.run();
+    EXPECT_EQ(f.net.counters().serializations, 1u);
+    EXPECT_GE(f.net.counters().frames, 4u);  // 1 ingress + 3 egress deliveries
 }
 
 TEST(SwitchTest, CamExhaustionCausesFailOpenFlooding) {

@@ -292,6 +292,71 @@ TEST(LintAllowTest, WrongRuleIdDoesNotSuppress) {
 }
 
 // ---------------------------------------------------------------------------
+// no-frame-copy
+// ---------------------------------------------------------------------------
+
+TEST(LintNoFrameCopyTest, FlagsEthernetFrameParseOutsideWire) {
+    EXPECT_TRUE(has_rule(run("src/host/bad.cpp",
+                             "void f(std::span<const std::uint8_t> raw) {\n"
+                             "  auto frame = wire::EthernetFrame::parse(raw);\n"
+                             "}\n"),
+                         "no-frame-copy"));
+}
+
+TEST(LintNoFrameCopyTest, FlagsSerializeOnFrameLocal) {
+    EXPECT_TRUE(has_rule(run("src/detect/bad.cpp",
+                             "void f() {\n"
+                             "  wire::EthernetFrame out;\n"
+                             "  auto raw = out.serialize();\n"
+                             "}\n"),
+                         "no-frame-copy"));
+}
+
+TEST(LintNoFrameCopyTest, FlagsSerializeOnFrameParameter) {
+    EXPECT_TRUE(has_rule(run("src/l2/bad.cpp",
+                             "void relay(const wire::EthernetFrame& frame) {\n"
+                             "  sink(frame.serialize());\n"
+                             "}\n"),
+                         "no-frame-copy"));
+}
+
+TEST(LintNoFrameCopyTest, FlagsSerializingAViewsMaterializedFrame) {
+    EXPECT_TRUE(has_rule(run("src/attack/bad.cpp",
+                             "void f(const wire::FrameView& view) {\n"
+                             "  auto raw = view.frame().serialize();\n"
+                             "}\n"),
+                         "no-frame-copy"));
+}
+
+TEST(LintNoFrameCopyTest, WireModuleOwnsTheCodec) {
+    EXPECT_TRUE(run("src/wire/frame.cpp",
+                    "void f(std::span<const std::uint8_t> raw) {\n"
+                    "  require(raw.size() >= 14);\n"
+                    "  auto frame = EthernetFrame::parse(raw);\n"
+                    "}\n")
+                    .empty());
+}
+
+TEST(LintNoFrameCopyTest, PayloadSerializationIsNotAFrameCopy) {
+    EXPECT_TRUE(run("src/host/ok.cpp",
+                    "void f() {\n"
+                    "  wire::ArpPacket pkt;\n"
+                    "  wire::EthernetFrame frame;\n"
+                    "  frame.payload = pkt.serialize();\n"
+                    "}\n")
+                    .empty());
+}
+
+TEST(LintNoFrameCopyTest, AllowMarkerSuppresses) {
+    EXPECT_TRUE(run("src/host/ok.cpp",
+                    "void f(const wire::EthernetFrame& frame) {\n"
+                    "  // lint:allow(no-frame-copy): golden bytes for the codec bench\n"
+                    "  sink(frame.serialize());\n"
+                    "}\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
 // clean file, catalog, report shape
 // ---------------------------------------------------------------------------
 
@@ -307,9 +372,10 @@ TEST(LintReportTest, CleanFileProducesNoViolations) {
 
 TEST(LintReportTest, CatalogCoversEveryEmittedRule) {
     const auto& catalog = rule_catalog();
-    EXPECT_EQ(catalog.size(), 11u);
-    // Two deliberately terrible fixtures: one in src/wire/ (where the parser
-    // and bounds rules apply) and one in src/common/ (where lock discipline
+    EXPECT_EQ(catalog.size(), 12u);
+    // Three deliberately terrible fixtures: one in src/wire/ (where the
+    // parser and bounds rules apply), one in src/common/ (where lock
+    // discipline applies), and one in src/host/ (where the frame-copy rule
     // applies). Together they trip every rule in the catalog.
     std::vector<Violation> vs;
     auto add = [&](std::string_view path, std::string_view text) {
@@ -335,6 +401,8 @@ TEST(LintReportTest, CatalogCoversEveryEmittedRule) {
         "    static int sink_;  // guards: mu_\n"
         "};\n"
         "void touch() { sink_ = 1; }\n");
+    add("src/host/bad.cpp",
+        "void f(const wire::EthernetFrame& frame) { sink(frame.serialize()); }\n");
     for (const auto& v : vs) {
         bool known = false;
         for (const auto& info : catalog) {

@@ -210,6 +210,69 @@ TEST(EngineTest, UnknownSchemeIsATypedError) {
         << score.error();
 }
 
+// Pcap capture order is not timestamp order: a multi-segment capture can
+// interleave records, so the attack timestamps the engine collects in frame
+// order may be non-monotone. Scoring binary-searches those timestamps, which
+// silently misclassifies alerts unless they are sorted first. This trace is
+// built so the alert is justified only by the *earlier* attack, while the
+// *later* attack appears first in capture order — the exact shape an
+// unsorted lower_bound gets wrong.
+TEST(EngineTest, NonMonotoneCaptureOrderStillScoresByTimestamp) {
+    using common::Duration;
+    using common::SimTime;
+
+    const wire::MacAddress mac_a = wire::MacAddress::local(1);
+    const wire::MacAddress mac_b = wire::MacAddress::local(2);
+    const wire::MacAddress mac_c = wire::MacAddress::local(3);
+    const wire::MacAddress mac_d = wire::MacAddress::local(4);
+
+    auto announce = [](wire::MacAddress mac, wire::Ipv4Address ip) {
+        wire::EthernetFrame f;
+        f.dst = wire::MacAddress::broadcast();
+        f.src = mac;
+        f.ether_type = wire::EtherType::kArp;
+        f.payload = wire::ArpPacket::gratuitous(mac, ip, /*as_reply=*/false).serialize();
+        return f.serialize();
+    };
+
+    LabeledTrace trace;
+    trace.origin = "handcrafted";
+    trace.seed = 7;
+    // Arpwatch learns 10.0.0.1 -> A, then two labeled attacks arrive with
+    // *descending* timestamps (1000 ms before 200 ms in capture order), and
+    // finally a conflicting claim for 10.0.0.1 fires the alert at 1050 ms.
+    trace.frames.push_back(
+        {SimTime{} + Duration::millis(5), announce(mac_a, {10, 0, 0, 1}), false});
+    trace.frames.push_back(
+        {SimTime{} + Duration::millis(1000), announce(mac_c, {10, 0, 0, 2}), true});
+    trace.frames.push_back(
+        {SimTime{} + Duration::millis(200), announce(mac_d, {10, 0, 0, 3}), true});
+    trace.frames.push_back(
+        {SimTime{} + Duration::millis(1050), announce(mac_b, {10, 0, 0, 1}), false});
+
+    const detect::Registry registry;
+    EngineOptions opts;
+    opts.timing = false;
+    // Narrow window: only the attack at 1000 ms can justify the 1050 ms
+    // alert; the one at 200 ms is out of range.
+    opts.match_window = Duration::millis(100);
+    const auto score = Engine{registry, opts}.run(trace, "arpwatch");
+    ASSERT_TRUE(score.ok()) << score.error();
+
+    EXPECT_EQ(score->frames, 4u);
+    EXPECT_EQ(score->malformed, 0u);
+    EXPECT_EQ(score->attack_frames, 2u);
+    EXPECT_EQ(score->alerts, 1u);
+    // Justified by the attack at 1000 ms (within [950, 1050]) even though
+    // that attack appears before the 200 ms one in capture order.
+    EXPECT_EQ(score->true_positive_alerts, 1u);
+    EXPECT_EQ(score->false_positive_alerts, 0u);
+    EXPECT_EQ(score->precision, 1.0);
+    // Only the 1000 ms attack has an alert inside its window.
+    EXPECT_EQ(score->detected_attacks, 1u);
+    EXPECT_EQ(score->recall, 0.5);
+}
+
 TEST(EngineTest, RunAllIsIdenticalForAnyJobsValue) {
     const LabeledTrace trace = load_small();
     const detect::Registry registry;

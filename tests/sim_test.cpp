@@ -125,9 +125,8 @@ TEST(EventSchedulerTest, RunAllThrowsOnLivelock) {
 class RecorderNode final : public Node {
 public:
     explicit RecorderNode(std::string name) : Node(std::move(name)) {}
-    void on_frame(PortId port, const wire::EthernetFrame& frame,
-                  std::span<const std::uint8_t>) override {
-        received.push_back({network().now(), port, frame});
+    void on_frame(PortId port, const wire::FrameView& view) override {
+        received.push_back({network().now(), port, view.frame()});
     }
     struct Rx {
         SimTime at;
@@ -143,7 +142,7 @@ public:
     SenderNode(std::string name, wire::EthernetFrame frame)
         : Node(std::move(name)), frame_(std::move(frame)) {}
     void start() override { send(0, frame_); }
-    void on_frame(PortId, const wire::EthernetFrame&, std::span<const std::uint8_t>) override {}
+    void on_frame(PortId, const wire::FrameView&) override {}
 
 private:
     wire::EthernetFrame frame_;
@@ -184,8 +183,7 @@ TEST(NetworkTest, BackToBackFramesQueueFifo) {
         void start() override {
             for (int i = 0; i < 3; ++i) send(0, make_frame(100));
         }
-        void on_frame(PortId, const wire::EthernetFrame&,
-                      std::span<const std::uint8_t>) override {}
+        void on_frame(PortId, const wire::FrameView&) override {}
     };
     auto& tx = net.emplace_node<BurstNode>("tx");
     net.connect({tx.id(), 0}, {rx.id(), 0});
@@ -220,6 +218,7 @@ TEST(NetworkTest, CountersTrackTraffic) {
     EXPECT_EQ(net.counters().arp_frames, 1u);
     EXPECT_EQ(net.counters().ipv4_frames, 0u);
     EXPECT_EQ(net.counters().bytes, 60u);  // padded to minimum
+    EXPECT_EQ(net.counters().serializations, 1u);  // one origin frame
 }
 
 TEST(NetworkTest, LossyLinkDropsSomeFrames) {
@@ -235,8 +234,7 @@ TEST(NetworkTest, LossyLinkDropsSomeFrames) {
                                                      [this] { send(0, make_frame()); });
             }
         }
-        void on_frame(PortId, const wire::EthernetFrame&,
-                      std::span<const std::uint8_t>) override {}
+        void on_frame(PortId, const wire::FrameView&) override {}
     };
     auto& tx = net.emplace_node<Burst100>("tx");
     LinkConfig lossy;
@@ -272,8 +270,7 @@ TEST(NetworkTest, DroppedFrameAccountingMatchesLossProbability) {
                                                      [this] { send(0, make_frame()); });
             }
         }
-        void on_frame(PortId, const wire::EthernetFrame&,
-                      std::span<const std::uint8_t>) override {}
+        void on_frame(PortId, const wire::FrameView&) override {}
     };
     auto& tx = net.emplace_node<BurstNode>("tx");
     LinkConfig lossy;
@@ -289,10 +286,15 @@ TEST(NetworkTest, DroppedFrameAccountingMatchesLossProbability) {
     const auto expected = static_cast<double>(kFrames) * kLoss;
     EXPECT_NEAR(static_cast<double>(c.dropped_frames), expected, 100.0);
 
-    // The telemetry counters mirror TrafficCounters one-for-one.
+    // The telemetry counters mirror TrafficCounters one-for-one. Every
+    // frame here is an origin transmit, so serializations == frames even
+    // though some are dropped downstream (the drop happens after the
+    // one-and-only serialization).
     EXPECT_EQ(registry.find_counter("sim.net.frames")->value(), c.frames);
     EXPECT_EQ(registry.find_counter("sim.net.dropped_frames")->value(), c.dropped_frames);
     EXPECT_EQ(registry.find_counter("sim.net.bytes")->value(), c.bytes);
+    EXPECT_EQ(registry.find_counter("sim.net.serializations")->value(), c.serializations);
+    EXPECT_EQ(c.serializations, kFrames);
 }
 
 TEST(NetworkTest, DuplicateConnectThrows) {
@@ -320,10 +322,9 @@ TEST(NetworkTest, DeterministicAcrossRuns) {
 TEST(NetworkTest, CaptureTapSeesRawBytes) {
     class CountingTap final : public CaptureTap {
     public:
-        void on_capture(SimTime, Endpoint, Endpoint,
-                        std::span<const std::uint8_t> raw) override {
+        void on_capture(SimTime, Endpoint, Endpoint, const wire::FrameView& view) override {
             ++frames;
-            bytes += raw.size();
+            bytes += view.bytes().size();
         }
         int frames = 0;
         std::size_t bytes = 0;

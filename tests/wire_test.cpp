@@ -7,6 +7,7 @@
 #include "wire/checksum.hpp"
 #include "wire/dhcp_message.hpp"
 #include "wire/ethernet.hpp"
+#include "wire/frame.hpp"
 #include "wire/ipv4_packet.hpp"
 #include "wire/mac_address.hpp"
 #include "wire/pcap_reader.hpp"
@@ -141,6 +142,149 @@ TEST(EthernetTest, RejectsShortAndUnknownType) {
     raw[12] = 0x12;  // bogus EtherType
     raw[13] = 0x34;
     EXPECT_FALSE(EthernetFrame::parse(raw).ok());
+}
+
+// ---------------------------------------------------------------------------
+// FrameBuffer / FrameView
+// ---------------------------------------------------------------------------
+
+TEST(FrameViewTest, SerializeRoundTripIsFixedPoint) {
+    EthernetFrame f;
+    f.dst = MacAddress::local(1);
+    f.src = MacAddress::local(2);
+    f.ether_type = EtherType::kArp;
+    f.payload = {1, 2, 3, 4};  // well below the 46-byte minimum
+
+    // The view carries the unpadded origin payload, so serialize → view →
+    // serialize is a fixed point even though the wire bytes are padded.
+    const FrameView view{FrameBuffer::serialize(f)};
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view.bytes().size(), EthernetFrame::kHeaderSize + EthernetFrame::kMinPayload);
+    ASSERT_EQ(view.payload().size(), f.payload.size());
+    EXPECT_TRUE(std::equal(f.payload.begin(), f.payload.end(), view.payload().begin()));
+
+    const EthernetFrame& round = view.frame();
+    EXPECT_EQ(round.payload, f.payload);  // unpadded, unlike EthernetFrame::parse
+    EXPECT_EQ(round.serialize(), f.serialize());
+}
+
+TEST(FrameViewTest, CaptureKeepsPadding) {
+    EthernetFrame f;
+    f.ether_type = EtherType::kIpv4;
+    f.payload = {9, 9};
+    const Bytes raw = f.serialize();
+
+    // A capture cannot know where the payload ends and padding begins; the
+    // view exposes the padded payload exactly as a pcap consumer would.
+    const FrameView view{FrameBuffer::capture(raw)};
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view.payload().size(), EthernetFrame::kMinPayload);
+}
+
+TEST(FrameViewTest, CopiesShareIdentityAndBytes) {
+    const FrameView a{FrameBuffer::serialize(EthernetFrame{})};
+    const FrameBuffer copy = a.buffer();
+    const FrameView b{copy};
+    EXPECT_EQ(a.buffer().identity(), b.buffer().identity());
+    EXPECT_EQ(a.bytes().data(), b.bytes().data());
+
+    const FrameView other{FrameBuffer::capture(Bytes{a.bytes().begin(), a.bytes().end()})};
+    EXPECT_NE(a.buffer().identity(), other.buffer().identity());
+}
+
+TEST(FrameViewTest, MalformedFramesAreNotOk) {
+    const FrameView empty;
+    EXPECT_FALSE(empty.ok());
+    EXPECT_EQ(empty.arp(), nullptr);
+    EXPECT_TRUE(empty.payload().empty());
+
+    const FrameView runt{FrameBuffer::capture(Bytes(10, 0))};
+    EXPECT_FALSE(runt.ok());
+    EXPECT_EQ(runt.src(), MacAddress{});
+
+    Bytes raw = EthernetFrame{}.serialize();
+    raw[12] = 0x12;  // bogus EtherType
+    raw[13] = 0x34;
+    const FrameView bogus{FrameBuffer::capture(raw)};
+    EXPECT_FALSE(bogus.ok());
+    EXPECT_EQ(bogus.arp(), nullptr);
+    EXPECT_EQ(bogus.ipv4(), nullptr);
+}
+
+TEST(FrameViewTest, HeaderParseHappensAtMostOncePerBuffer) {
+    EthernetFrame f;
+    f.ether_type = EtherType::kArp;
+    f.payload = ArpPacket::request(MacAddress::local(7), Ipv4Address{10, 0, 0, 7},
+                                   Ipv4Address{10, 0, 0, 8})
+                    .serialize();
+    const Bytes raw = f.serialize();
+
+    reset_frameview_stats();
+    const FrameView view{FrameBuffer::capture(raw)};
+    const FrameView sibling{view.buffer()};  // second view over the same buffer
+    ASSERT_TRUE(view.ok());   // first touch: the one real parse
+    EXPECT_TRUE(sibling.ok());
+    EXPECT_TRUE(view.ok());
+    auto s = frameview_stats();
+    EXPECT_EQ(s.parse_misses, 1u);
+    EXPECT_EQ(s.parse_hits, 2u);
+
+    ASSERT_NE(view.arp(), nullptr);
+    EXPECT_NE(sibling.arp(), nullptr);
+    s = frameview_stats();
+    EXPECT_EQ(s.arp_misses, 1u);
+    EXPECT_EQ(s.arp_hits, 1u);
+}
+
+TEST(FrameViewTest, OriginBuffersNeverPayAHeaderParse) {
+    reset_frameview_stats();
+    const FrameView view{FrameBuffer::serialize(EthernetFrame{})};
+    EXPECT_TRUE(view.ok());
+    EXPECT_EQ(view.ether_type(), EtherType::kIpv4);
+    const auto s = frameview_stats();
+    EXPECT_EQ(s.parse_misses, 0u);  // pre-memoized at serialize()
+    EXPECT_EQ(s.parse_hits, 1u);
+}
+
+TEST(FrameViewTest, PrimePopulatesPayloadMemo) {
+    EthernetFrame f;
+    f.ether_type = EtherType::kArp;
+    f.payload = ArpPacket::request(MacAddress::local(1), Ipv4Address{10, 0, 0, 1},
+                                   Ipv4Address{10, 0, 0, 2})
+                    .serialize();
+    const FrameView view{FrameBuffer::capture(f.serialize())};
+
+    reset_frameview_stats();
+    view.prime();
+    auto s = frameview_stats();
+    EXPECT_EQ(s.parse_misses, 1u);
+    EXPECT_EQ(s.arp_misses, 1u);
+    ASSERT_NE(view.arp(), nullptr);  // served from the primed memo
+    s = frameview_stats();
+    EXPECT_EQ(s.arp_misses, 1u);
+    EXPECT_EQ(s.arp_hits, 1u);
+    EXPECT_EQ(view.arp()->sender_ip, (Ipv4Address{10, 0, 0, 1}));
+}
+
+TEST(FrameViewTest, Ipv4MemoizedOncePerBuffer) {
+    Ipv4Packet p;
+    p.src = Ipv4Address{10, 0, 0, 1};
+    p.dst = Ipv4Address{10, 0, 0, 2};
+    p.protocol = IpProto::kUdp;
+    EthernetFrame f;
+    f.ether_type = EtherType::kIpv4;
+    f.payload = p.serialize();
+
+    reset_frameview_stats();
+    const FrameView view{FrameBuffer::capture(f.serialize())};
+    ASSERT_NE(view.ipv4(), nullptr);
+    EXPECT_NE(view.ipv4(), nullptr);
+    EXPECT_EQ(view.ipv4()->dst, p.dst);
+    const auto s = frameview_stats();
+    EXPECT_EQ(s.ipv4_misses, 1u);
+    EXPECT_EQ(s.ipv4_hits, 2u);
+    EXPECT_EQ(view.arp(), nullptr);  // wrong EtherType: no ARP parse attempted
+    EXPECT_EQ(frameview_stats().arp_misses, 0u);
 }
 
 // ---------------------------------------------------------------------------
