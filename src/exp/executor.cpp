@@ -40,4 +40,6 @@ std::vector<std::string> run_indexed(std::size_t n, std::size_t jobs,
     return errors;
 }
 
+void yield_thread() noexcept { std::this_thread::yield(); }
+
 }  // namespace arpsec::exp

@@ -30,6 +30,12 @@ struct Outcome {
 std::vector<std::string> run_indexed(std::size_t n, std::size_t jobs,
                                      const std::function<void(std::size_t)>& body);
 
+/// Yields the calling thread's timeslice (std::this_thread::yield). Spin
+/// loops in test code must call this instead of including <thread> — exp is
+/// the sanctioned concurrency site, and a spin without a yield can pin a
+/// single-core runner for an entire scheduling quantum per iteration.
+void yield_thread() noexcept;
+
 /// Deterministic parallel map: out[i] = fn(i). T must be default- and
 /// move-constructible; a throwing fn marks only its own slot failed.
 template <typename T, typename Fn>

@@ -188,7 +188,13 @@ void check_determinism(const FileContext& ctx, std::vector<Violation>& out) {
 
 void check_no_threads(const FileContext& ctx, std::vector<Violation>& out) {
     if (ctx.module == "exp") return;
+    // The replay pipeline (prime workers + frontier collector) is the other
+    // sanctioned concurrency site: determinism is preserved by construction
+    // (docs/REPLAY.md, pipeline determinism contract), and the SPSC ring it
+    // rides on lives in common/ring.* (atomics only — no threads, no locks).
+    if (ctx.module == "replay") return;
     if (ctx.path.find("common/log.") != std::string_view::npos) return;
+    if (ctx.path.find("common/ring.") != std::string_view::npos) return;
     for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
         const std::string_view code = ctx.code_lines[i];
         std::string offender;
@@ -210,9 +216,10 @@ void check_no_threads(const FileContext& ctx, std::vector<Violation>& out) {
         if (offender.empty()) continue;
         out.push_back({std::string{ctx.path}, i + 1, "no-threads-in-sim",
                        "'" + offender +
-                           "' introduces concurrency outside the sweep executor; the "
+                           "' introduces concurrency outside the sanctioned sites; the "
                            "simulation must stay single-threaded per seed (threads only in "
-                           "src/exp/, locking only in common/log.*)",
+                           "src/exp/ and src/replay/, locking only in common/log.*, "
+                           "lock-free ring only in common/ring.*)",
                        std::string{trim(ctx.raw_lines[i])}});
     }
 }
@@ -456,7 +463,8 @@ const std::vector<RuleInfo>& rule_catalog() {
         {"sim-determinism",
          "no wall-clock / global PRNG identifiers outside common/time.*"},
         {"no-threads-in-sim",
-         "concurrency only in src/exp/ (threads) and common/log.* (locking)"},
+         "concurrency only in src/exp/ + src/replay/ (threads), common/log.* "
+         "(locking), common/ring.* (lock-free SPSC)"},
         {"discarded-expected",
          "results of Expected-returning parser entry points must be consumed"},
         {"naked-new", "no raw new/malloc; ownership must be typed"},

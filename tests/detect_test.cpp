@@ -666,6 +666,117 @@ TEST(RegistryTest, RejectsEmptyNameAndNullFactory) {
     EXPECT_FALSE(registry.add({"only", [] { return std::make_unique<ArpwatchScheme>(); }}).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Traits conformance — the paper's comparison-matrix columns, pinned per
+// scheme. The DST checker and replay scoring scope their invariants by
+// these flags (vantage, best_effort, depends_on_dhcp, ...), so a silently
+// edited trait used to only *reroute* checker eligibility; now it fails a
+// named row here first.
+// ---------------------------------------------------------------------------
+
+struct TraitsRow {
+    const char* registry_name;  // key in detect::Registry
+    const char* traits_name;    // SchemeTraits::name (may differ, e.g. dai)
+    const char* vantage;
+    bool detects;
+    bool prevents_poisoning;
+    bool prevents_flooding;
+    bool requires_protocol_change;
+    bool requires_infrastructure;
+    bool requires_per_host_deploy;
+    bool uses_cryptography;
+    bool depends_on_dhcp;
+    bool best_effort;
+    bool handles_dynamic_ips;
+    CostBand deployment_cost;
+    CostBand runtime_cost;
+};
+
+TEST(RegistryTest, TraitsConformanceTable) {
+    // One row per registered scheme, in registry order.
+    const TraitsRow kExpected[] = {
+        // reg name          traits name           vantage       det    prevP  prevF  proto  infra  host   crypt  dhcp   best   dyn
+        {"none", "none (classic ARP)", "",
+         false, false, false, false, false, false, false, false, false, true,
+         CostBand::kLow, CostBand::kNone},
+        {"static-entries", "static-entries", "host",
+         false, true, false, false, false, true, false, false, false, false,
+         CostBand::kHigh, CostBand::kNone},
+        {"arpwatch", "arpwatch", "monitor",
+         true, false, false, false, true, false, false, false, false, false,
+         CostBand::kLow, CostBand::kNone},
+        {"snort-arpspoof", "snort-arpspoof", "monitor",
+         true, false, false, false, true, false, false, false, false, false,
+         CostBand::kMedium, CostBand::kNone},
+        {"active-probe", "active-probe", "monitor",
+         true, false, false, false, true, false, false, false, false, true,
+         CostBand::kLow, CostBand::kLow},
+        {"anticap", "anticap", "host",
+         true, true, false, false, false, true, false, false, false, false,
+         CostBand::kMedium, CostBand::kNone},
+        {"antidote", "antidote", "host",
+         true, true, false, false, false, true, false, false, true, true,
+         CostBand::kMedium, CostBand::kLow},
+        {"middleware", "middleware", "host",
+         true, true, false, false, false, true, false, false, true, true,
+         CostBand::kMedium, CostBand::kLow},
+        {"port-security", "port-security", "switch",
+         true, false, true, false, true, false, false, false, false, true,
+         CostBand::kMedium, CostBand::kNone},
+        {"dai", "dai+dhcp-snooping", "switch",
+         true, true, false, false, true, false, false, true, false, true,
+         CostBand::kMedium, CostBand::kLow},
+        {"dai-static", "dai-static", "switch",
+         true, true, false, false, true, false, false, false, false, false,
+         CostBand::kMedium, CostBand::kLow},
+        {"gossip", "gossip", "host (cooperative)",
+         true, false, false, false, false, true, false, false, true, false,
+         CostBand::kMedium, CostBand::kLow},
+        {"lease-monitor", "lease-monitor", "monitor",
+         true, false, false, false, true, false, false, true, false, true,
+         CostBand::kLow, CostBand::kNone},
+        {"s-arp", "s-arp", "host+server",
+         true, true, false, true, true, true, true, false, false, true,
+         CostBand::kHigh, CostBand::kHigh},
+        {"tarp", "tarp", "host+server",
+         true, true, false, true, true, true, true, false, false, true,
+         CostBand::kHigh, CostBand::kMedium},
+    };
+
+    const Registry registry;
+    ASSERT_EQ(registry.entries().size(), std::size(kExpected))
+        << "a scheme was added or removed: extend the conformance table";
+
+    for (const TraitsRow& row : kExpected) {
+        SCOPED_TRACE(row.registry_name);
+        auto scheme = registry.make(row.registry_name);
+        ASSERT_NE(scheme, nullptr);
+        const SchemeTraits t = scheme->traits();
+        EXPECT_EQ(t.name, row.traits_name);
+        EXPECT_EQ(t.vantage, row.vantage);
+        EXPECT_EQ(t.detects, row.detects);
+        EXPECT_EQ(t.prevents_poisoning, row.prevents_poisoning);
+        EXPECT_EQ(t.prevents_flooding, row.prevents_flooding);
+        EXPECT_EQ(t.requires_protocol_change, row.requires_protocol_change);
+        EXPECT_EQ(t.requires_infrastructure, row.requires_infrastructure);
+        EXPECT_EQ(t.requires_per_host_deploy, row.requires_per_host_deploy);
+        EXPECT_EQ(t.uses_cryptography, row.uses_cryptography);
+        EXPECT_EQ(t.depends_on_dhcp, row.depends_on_dhcp);
+        EXPECT_EQ(t.best_effort, row.best_effort);
+        EXPECT_EQ(t.handles_dynamic_ips, row.handles_dynamic_ips);
+        EXPECT_EQ(t.deployment_cost, row.deployment_cost);
+        EXPECT_EQ(t.runtime_cost, row.runtime_cost);
+    }
+
+    // Cross-cutting sanity: every registered name appears in the table (the
+    // size assert above plus uniqueness makes the mapping exhaustive).
+    std::set<std::string> table_names;
+    for (const TraitsRow& row : kExpected) table_names.insert(row.registry_name);
+    for (const auto& entry : registry.entries()) {
+        EXPECT_TRUE(table_names.count(entry.name) == 1) << entry.name;
+    }
+}
+
 TEST(AlertTest, ToStringContainsFields) {
     Alert a;
     a.scheme = "test";

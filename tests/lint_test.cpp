@@ -101,6 +101,37 @@ TEST(LintNoThreadsTest, AllowsSweepExecutorAndLogger) {
                     .empty());
 }
 
+TEST(LintNoThreadsTest, AllowsReplayPipelineAndRing) {
+    // The replay pipeline's prime workers and frontier collector are a
+    // sanctioned concurrency site (deterministic by construction).
+    EXPECT_TRUE(run("src/replay/pipeline.cpp",
+                    "#include <thread>\n"
+                    "std::thread t{work};\n")
+                    .empty());
+    EXPECT_TRUE(run("src/replay/pipeline.hpp",
+                    "#pragma once\n"
+                    "#include <thread>\n"
+                    "std::vector<std::thread> threads_;\n")
+                    .empty());
+    // The SPSC ring is atomics-only but lives on the exemption list so its
+    // documentation and future lock-free additions don't trip token scans.
+    EXPECT_TRUE(run("src/common/ring.hpp",
+                    "#pragma once\n"
+                    "#include <atomic>\n"
+                    "#include <condition_variable>\n")
+                    .empty());
+}
+
+TEST(LintNoThreadsTest, ReplayExemptionDoesNotLeakToNeighbors) {
+    // Only src/replay/ and the named common files are exempt: sim stays
+    // flagged, and so does a hypothetical common/ring_utils.cpp that does
+    // not match the common/ring.* path pin.
+    EXPECT_TRUE(has_rule(run("src/sim/bad.cpp", "std::thread t{work};\n"),
+                         "no-threads-in-sim"));
+    EXPECT_TRUE(has_rule(run("src/common/buffer.cpp", "#include <thread>\n"),
+                         "no-threads-in-sim"));
+}
+
 TEST(LintNoThreadsTest, IgnoresProseAndLookalikes) {
     EXPECT_TRUE(run("src/sim/ok.cpp",
                     "// a mutex would deadlock here; threads are banned\n"

@@ -118,6 +118,115 @@ TEST(EventSchedulerTest, RunAllThrowsOnLivelock) {
 }
 
 // ---------------------------------------------------------------------------
+// run_until fast path + lazy cancelled-purge (the replay hot path: one
+// run_until per trace frame, almost always with nothing due)
+// ---------------------------------------------------------------------------
+
+TEST(EventSchedulerTest, RunUntilFastPathAdvancesTimeOnEmptyQueue) {
+    EventScheduler sched;
+    // Empty queue: the inline fast path must only advance the clock.
+    sched.run_until(SimTime{500});
+    EXPECT_EQ(sched.now(), SimTime{500});
+    EXPECT_EQ(sched.executed(), 0u);
+    // Deadline behind now(): time never moves backwards.
+    sched.run_until(SimTime{100});
+    EXPECT_EQ(sched.now(), SimTime{500});
+}
+
+TEST(EventSchedulerTest, RunUntilFastPathSkipsFutureHead) {
+    EventScheduler sched;
+    int fired = 0;
+    sched.schedule_at(SimTime{1000}, [&] { ++fired; });
+    // Head past the deadline: fast path advances the clock, fires nothing,
+    // and the event must still be live afterwards.
+    for (int t = 1; t <= 9; ++t) sched.run_until(SimTime{t * 100});
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(sched.now(), SimTime{900});
+    EXPECT_EQ(sched.pending(), 1u);
+    sched.run_until(SimTime{1000});
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sched.now(), SimTime{1000});
+}
+
+TEST(EventSchedulerTest, RunUntilPurgesCancelledStormLazily) {
+    EventScheduler sched;
+    // A storm of events all cancelled before the run: cancellation is lazy
+    // (ids parked in a set, queue untouched), so pending() drops to zero
+    // immediately while the queue still physically holds every entry.
+    std::vector<EventId> ids;
+    bool fired = false;
+    for (int i = 0; i < 1000; ++i) {
+        ids.push_back(
+            sched.schedule_at(SimTime{100 + i}, [&fired] { fired = true; }));
+    }
+    for (const EventId id : ids) ASSERT_TRUE(sched.cancel(id));
+    EXPECT_EQ(sched.pending(), 0u);
+    // The run must purge every tombstone without executing anything, and
+    // the purge must actually drain the cancelled set (so later cancels of
+    // new ids keep O(1) behavior, and pending() stays exact).
+    sched.run_until(SimTime{5000});
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sched.executed(), 0u);
+    EXPECT_EQ(sched.now(), SimTime{5000});
+    EXPECT_EQ(sched.pending(), 0u);
+    // A fresh event after the storm fires normally.
+    int after = 0;
+    sched.schedule_at(SimTime{6000}, [&after] { ++after; });
+    sched.run_until(SimTime{6000});
+    EXPECT_EQ(after, 1);
+}
+
+TEST(EventSchedulerTest, RunUntilSkipsCancelledHeadButFiresLiveTail) {
+    EventScheduler sched;
+    std::vector<int> order;
+    const EventId dead1 = sched.schedule_at(SimTime{10}, [&] { order.push_back(-1); });
+    sched.schedule_at(SimTime{20}, [&] { order.push_back(1); });
+    const EventId dead2 = sched.schedule_at(SimTime{30}, [&] { order.push_back(-2); });
+    sched.schedule_at(SimTime{40}, [&] { order.push_back(2); });
+    sched.cancel(dead1);
+    sched.cancel(dead2);
+    // Cancelled entries interleaved with live ones: the slow path must step
+    // over each tombstone and fire exactly the live events, in order.
+    sched.run_until(SimTime{35});
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_EQ(sched.now(), SimTime{35});
+    sched.run_until(SimTime{100});
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventSchedulerTest, EqualTimestampsFireInScheduleOrderThroughRunUntil) {
+    EventScheduler sched;
+    // Same deadline tie-break as run_all, but specifically through
+    // run_until's slow path, with a cancelled entry punched into the middle
+    // of the tie group: survivors keep FIFO order.
+    std::vector<int> order;
+    sched.schedule_at(SimTime{50}, [&] { order.push_back(0); });
+    const EventId dead = sched.schedule_at(SimTime{50}, [&] { order.push_back(99); });
+    sched.schedule_at(SimTime{50}, [&] { order.push_back(1); });
+    sched.schedule_at(SimTime{50}, [&] { order.push_back(2); });
+    sched.cancel(dead);
+    sched.run_until(SimTime{50});
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(sched.executed(), 3u);
+}
+
+TEST(EventSchedulerTest, CancelAfterRunUntilPurgeStillWorks) {
+    EventScheduler sched;
+    // The purge erases fired-past tombstones from the cancelled set; a
+    // cancel issued *after* a purge for a still-pending event must behave
+    // exactly like a fresh cancel (regression guard for the erase logic).
+    const EventId early = sched.schedule_at(SimTime{10}, [] {});
+    sched.cancel(early);
+    sched.run_until(SimTime{20});  // purges `early`'s tombstone
+    bool fired = false;
+    const EventId late = sched.schedule_at(SimTime{30}, [&fired] { fired = true; });
+    EXPECT_TRUE(sched.cancel(late));
+    sched.run_until(SimTime{100});
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Network / links
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,46 @@
+# Smoke test for the pipelined replay engine, run via `cmake -P` from ctest
+# (replay_pipeline_smoke): generate a small labeled trace, replay it with the
+# prime pipeline disabled (--pipeline 0) and enabled (--pipeline 2), and
+# require byte-identical stdout and artifacts. This is the determinism
+# contract from docs/REPLAY.md: pipelining changes WHEN a FrameView is
+# primed, never WHAT any scheme observes.
+#
+# Expects -DTRACE_TOOL, -DREPLAY_TOOL, -DWORK_DIR.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(PCAP ${WORK_DIR}/pipeline-smoke.pcap)
+
+execute_process(
+  COMMAND ${TRACE_TOOL} --frames 2000 --jobs 2 --out ${PCAP}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "arpsec-trace failed (rc=${rc})")
+endif()
+
+# A deliberately small batch so the 2000-frame trace spans many batches and
+# the worker/collector/lane machinery actually engages.
+foreach(pipeline 0 2)
+  execute_process(
+    COMMAND ${REPLAY_TOOL} --pcap ${PCAP} --jobs 2 --no-timing
+            --pipeline ${pipeline} --batch 128
+            --out ${WORK_DIR}/replay-p${pipeline}.json
+    OUTPUT_VARIABLE stdout_p${pipeline}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "arpsec-replay --pipeline ${pipeline} failed (rc=${rc})")
+  endif()
+endforeach()
+
+if(NOT stdout_p0 STREQUAL stdout_p2)
+  message(FATAL_ERROR "replay stdout differs between --pipeline 0 and --pipeline 2")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/replay-p0.json ${WORK_DIR}/replay-p2.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "replay artifacts differ between --pipeline 0 and --pipeline 2")
+endif()
+
+message(STATUS "replay pipeline smoke: pipeline-invariant stdout and artifact confirmed")
