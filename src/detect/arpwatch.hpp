@@ -24,6 +24,12 @@ public:
     [[nodiscard]] SchemeTraits traits() const override;
     void attach_monitor(MonitorNode& monitor) override;
 
+    /// The station database round-trips through `snapshot_state`, so a
+    /// restarted serve shard neither re-alerts on bindings it already
+    /// accepted nor misses a change that straddles the restart.
+    [[nodiscard]] telemetry::Json snapshot_state() const override;
+    void restore_state(const telemetry::Json& state) override;
+
     /// Number of stations currently in the database (for tests/examples).
     [[nodiscard]] std::size_t stations() const;
 

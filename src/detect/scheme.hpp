@@ -10,6 +10,7 @@
 #include "host/host.hpp"
 #include "l2/switch.hpp"
 #include "sim/network.hpp"
+#include "telemetry/json.hpp"
 
 namespace arpsec::detect {
 
@@ -82,6 +83,18 @@ public:
     virtual void protect_host(host::Host& host) { (void)host; }
     virtual void configure_switch(l2::Switch& fabric) { (void)fabric; }
     virtual void attach_monitor(MonitorNode& monitor) { (void)monitor; }
+
+    /// Serializable learned state for serve-mode snapshot/restore
+    /// (`arpsec.serve-snapshot.v1`). Schemes whose verdicts depend on
+    /// accumulated observations (arpwatch's station DB, lease tables)
+    /// override both so a restarted daemon resumes without re-learning —
+    /// or re-alerting on — bindings it already saw. Stateless schemes keep
+    /// the default empty object. Call restore_state() only after the full
+    /// lifecycle (deploy/configure_switch/attach_monitor) has run.
+    [[nodiscard]] virtual telemetry::Json snapshot_state() const {
+        return telemetry::Json::object();
+    }
+    virtual void restore_state(const telemetry::Json& state) { (void)state; }
 
 protected:
     void alert(Alert a) {

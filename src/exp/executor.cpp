@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -41,5 +42,31 @@ std::vector<std::string> run_indexed(std::size_t n, std::size_t jobs,
 }
 
 void yield_thread() noexcept { std::this_thread::yield(); }
+
+void sleep_millis(unsigned ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::string run_pair(const std::function<void()>& peer,
+                     const std::function<void()>& body) {
+    std::string peer_error;
+    std::thread t([&] {
+        try {
+            peer();
+        } catch (const std::exception& e) {
+            peer_error = e.what()[0] != '\0' ? e.what() : "exception";
+        } catch (...) {
+            peer_error = "unknown exception";
+        }
+    });
+    try {
+        body();
+    } catch (...) {
+        t.join();
+        throw;
+    }
+    t.join();
+    return peer_error;
+}
 
 }  // namespace arpsec::exp

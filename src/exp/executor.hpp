@@ -36,6 +36,21 @@ std::vector<std::string> run_indexed(std::size_t n, std::size_t jobs,
 /// single-core runner for an entire scheduling quantum per iteration.
 void yield_thread() noexcept;
 
+/// Sleeps the calling thread (std::this_thread::sleep_for) — the exp-routed
+/// alternative to including <thread> for a wall-clock pause in test code.
+void sleep_millis(unsigned ms);
+
+/// Runs `peer` on a dedicated thread while `body` runs on the calling
+/// thread, then joins — the sanctioned entry point for two-role
+/// (client/server) concurrency in serve tests and benches. run_indexed
+/// cannot express this: its workers pull from a shared counter, so one
+/// worker may run both roles sequentially, deadlocking a peer that blocks
+/// on the body's output. Returns the peer's exception message ("" when it
+/// completed cleanly); a `body` exception propagates on the caller after
+/// the peer is joined.
+std::string run_pair(const std::function<void()>& peer,
+                     const std::function<void()>& body);
+
 /// Deterministic parallel map: out[i] = fn(i). T must be default- and
 /// move-constructible; a throwing fn marks only its own slot failed.
 template <typename T, typename Fn>

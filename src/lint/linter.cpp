@@ -193,6 +193,10 @@ void check_no_threads(const FileContext& ctx, std::vector<Violation>& out) {
     // (docs/REPLAY.md, pipeline determinism contract), and the SPSC ring it
     // rides on lives in common/ring.* (atomics only — no threads, no locks).
     if (ctx.module == "replay") return;
+    // The streaming service is inherently concurrent (intake thread, shard
+    // workers, alert drain — docs/SERVING.md). Its threads never enter sim
+    // code: each SchemeSession stays confined to one worker.
+    if (ctx.module == "serve") return;
     if (ctx.path.find("common/log.") != std::string_view::npos) return;
     if (ctx.path.find("common/ring.") != std::string_view::npos) return;
     for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
@@ -218,9 +222,34 @@ void check_no_threads(const FileContext& ctx, std::vector<Violation>& out) {
                        "'" + offender +
                            "' introduces concurrency outside the sanctioned sites; the "
                            "simulation must stay single-threaded per seed (threads only in "
-                           "src/exp/ and src/replay/, locking only in common/log.*, "
-                           "lock-free ring only in common/ring.*)",
+                           "src/exp/, src/replay/ and src/serve/, locking only in "
+                           "common/log.*, lock-free ring only in common/ring.*)",
                        std::string{trim(ctx.raw_lines[i])}});
+    }
+}
+
+/// OS networking headers. Sockets are I/O with the outside world: only the
+/// serve transport layer may open them, so the simulator provably cannot
+/// leak packets onto (or read state from) a real network.
+constexpr std::array<std::string_view, 6> kSocketHeaderBans = {
+    "sys/socket.h", "sys/un.h", "netinet/in.h", "netinet/tcp.h", "arpa/inet.h", "netdb.h",
+};
+
+void check_no_sockets(const FileContext& ctx, std::vector<Violation>& out) {
+    if (ctx.module == "serve") return;
+    for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+        const std::string_view trimmed = trim(ctx.code_lines[i]);
+        if (!starts_with(trimmed, "#include")) continue;
+        for (const auto hdr : kSocketHeaderBans) {
+            const std::string needle = "<" + std::string{hdr} + ">";
+            if (trimmed.find(needle) == std::string_view::npos) continue;
+            out.push_back({std::string{ctx.path}, i + 1, "no-sockets-outside-serve",
+                           "'" + needle +
+                               "' opens real network I/O outside src/serve/; everything else "
+                               "speaks to the world through serve::Connection or stays in the "
+                               "simulator",
+                           std::string{trim(ctx.raw_lines[i])}});
+        }
     }
 }
 
@@ -337,6 +366,7 @@ std::vector<Violation> lint_text(std::string_view path, std::string_view text,
     std::vector<Violation> found;
     check_determinism(ctx, found);
     check_no_threads(ctx, found);
+    check_no_sockets(ctx, found);
     check_discarded_expected(ctx, found);
     check_naked_new(ctx, found);
     check_assert_in_parser(ctx, found);
@@ -463,8 +493,11 @@ const std::vector<RuleInfo>& rule_catalog() {
         {"sim-determinism",
          "no wall-clock / global PRNG identifiers outside common/time.*"},
         {"no-threads-in-sim",
-         "concurrency only in src/exp/ + src/replay/ (threads), common/log.* "
-         "(locking), common/ring.* (lock-free SPSC)"},
+         "concurrency only in src/exp/ + src/replay/ + src/serve/ (threads), "
+         "common/log.* (locking), common/ring.* (lock-free SPSC)"},
+        {"no-sockets-outside-serve",
+         "OS networking headers only in src/serve/ — the simulator can never "
+         "touch a real network"},
         {"discarded-expected",
          "results of Expected-returning parser entry points must be consumed"},
         {"naked-new", "no raw new/malloc; ownership must be typed"},

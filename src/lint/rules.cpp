@@ -37,6 +37,13 @@ const std::map<std::string, std::set<std::string>, std::less<>>& module_layering
         {"replay",
          {"replay", "check", "exp", "detect", "attack", "host", "l2", "arp", "sim", "crypto",
           "telemetry", "wire", "common"}},
+        // The streaming service tops the stack: it owns transports and shard
+        // workers and feeds replay sessions. Listing "serve" nowhere else is
+        // what forbids reverse dependencies — sim/detect/replay code can
+        // never reach back into the daemon.
+        {"serve",
+         {"serve", "replay", "check", "exp", "detect", "attack", "host", "l2", "arp", "sim",
+          "crypto", "telemetry", "wire", "common"}},
         {"lint", {"lint", "telemetry", "common"}},
     };
     return kAllowed;

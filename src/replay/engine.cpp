@@ -1,12 +1,10 @@
 #include "replay/engine.hpp"
 
-#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
-#include "detect/monitor.hpp"
-#include "l2/switch.hpp"
-#include "sim/network.hpp"
+#include "replay/score.hpp"
+#include "replay/session.hpp"
 #include "telemetry/metrics.hpp"
 #include "wire/ethernet.hpp"
 
@@ -75,44 +73,14 @@ common::Expected<SchemeScore> Engine::run_impl(const LabeledTrace& trace,
         return Result::failure("replay: unknown scheme '" + scheme_name + "'");
     }
 
-    // Minimal offline LAN: a switch whose mirror port feeds the monitor.
-    // No hosts — the trace already contains everything the mirror port saw,
-    // so protect_host() never applies at this vantage (documented in
-    // docs/REPLAY.md: active-verification probes cannot be answered by a
-    // recording, which costs best-effort schemes recall here).
-    telemetry::MetricsRegistry metrics;
-    sim::Network net{trace.seed == 0 ? 1 : trace.seed};
-    net.attach_metrics(metrics);
-    auto& fabric = net.emplace_node<l2::Switch>("switch", std::size_t{16});
-    auto& monitor =
-        net.emplace_node<detect::MonitorNode>("monitor", wire::MacAddress::local(0x999));
-    net.connect(sim::Endpoint{monitor.id(), 0}, sim::Endpoint{fabric.id(), 0});
-    fabric.set_mirror_port(0);
-    fabric.set_trusted_port(0, true);
-
-    detect::AlertSink alerts;
-    crypto::OpCounters ops;
-    sim::PortId next_port = 1;
-    detect::DeploymentContext ctx;
-    ctx.net = &net;
-    ctx.fabric = &fabric;
-    ctx.alerts = &alerts;
-    ctx.ops = &ops;
-    ctx.directory = trace.directory;
-    ctx.attach_infra = [&net, &fabric, &next_port](sim::NodeId id) {
-        const sim::PortId port = next_port++;
-        net.connect(sim::Endpoint{id, 0}, sim::Endpoint{fabric.id(), port});
-        fabric.set_trusted_port(port, true);
-        return port;
-    };
-    std::uint8_t infra_ips = 0;
-    ctx.alloc_infra_ip = [&infra_ips] {
-        return wire::Ipv4Address{192, 168, 1, static_cast<std::uint8_t>(240 + infra_ips++)};
-    };
-    scheme->deploy(ctx);
-    scheme->configure_switch(fabric);
-    scheme->attach_monitor(monitor);
-    net.start_all();
+    // The offline LAN, scheme deployment, and feed loop live in
+    // SchemeSession — the same object the serve shards stream into, which
+    // is what makes the serve<->replay equivalence gate hold by
+    // construction.
+    SessionOptions session_options;
+    session_options.seed = trace.seed == 0 ? 1 : trace.seed;
+    session_options.directory = trace.directory;
+    SchemeSession session{std::move(scheme), session_options};
 
     SchemeScore score;
     score.scheme = scheme_name;
@@ -132,7 +100,6 @@ common::Expected<SchemeScore> Engine::run_impl(const LabeledTrace& trace,
     std::size_t ready = gate != nullptr ? gate->ready_frames() : views.size();
 
     common::Stopwatch watch;
-    auto& sched = net.scheduler();
     for (std::size_t i = 0; i < trace.frames.size(); ++i) {
         if (i >= ready) {
             gate->wait_batch(i / batch_frames);
@@ -140,50 +107,28 @@ common::Expected<SchemeScore> Engine::run_impl(const LabeledTrace& trace,
         }
         if (i + kPrefetchAhead < ready) views[i + kPrefetchAhead].prefetch();
         const TraceFrame& f = trace.frames[i];
-        if (f.at > net.now()) sched.run_until(f.at);
-        ++score.frames;
-        // The view was parsed (and memoized) once when it was built; this
-        // is a memo read, not a parse, no matter how many schemes replay
-        // the same trace.
-        const wire::FrameView& view = views[i];
-        if (!view.ok()) {
-            ++score.malformed;
-            continue;
-        }
-        monitor.on_frame(0, view);
+        session.feed(f.at, views[i]);
     }
-    sched.run_until(trace.last_at() + options_.grace);
+    // The session tracks the max timestamp it saw, which equals
+    // trace.last_at() after a full feed.
+    session.finish(options_.grace);
     const double elapsed = watch.elapsed_seconds();
+    score.frames = session.frames();
+    score.malformed = session.malformed();
 
-    // Score alerts against ground truth by timestamp proximity: an alert is
-    // justified by any attack frame in the window before it, and an attack
-    // is detected by any alert in the window after it.
     std::vector<SimTime> attack_times;
     for (const TraceFrame& f : trace.frames) {
         if (f.attack) attack_times.push_back(f.at);
     }
-    // Traces are not required to be timestamp-ordered (pcap capture order
-    // can interleave), and lower_bound below assumes sorted input.
-    std::sort(attack_times.begin(), attack_times.end());
-    const auto window = options_.match_window;
-    for (const detect::Alert& a : alerts.alerts()) {
-        const auto it = std::lower_bound(attack_times.begin(), attack_times.end(),
-                                         SimTime{a.at.nanos() - window.count()});
-        if (it != attack_times.end() && *it <= a.at) {
-            ++score.true_positive_alerts;
-        } else {
-            ++score.false_positive_alerts;
-        }
-    }
-    std::vector<SimTime> alert_times;
-    for (const detect::Alert& a : alerts.alerts()) alert_times.push_back(a.at);
-    std::sort(alert_times.begin(), alert_times.end());
-    for (const SimTime at : attack_times) {
-        const auto it = std::lower_bound(alert_times.begin(), alert_times.end(), at);
-        if (it != alert_times.end() && *it <= at + window) ++score.detected_attacks;
-    }
+    const detect::AlertSink& alerts = session.alerts();
+    const MatchCounts match =
+        match_alerts(std::move(attack_times), alerts.alerts(), options_.match_window);
+    score.true_positive_alerts = match.true_positive_alerts;
+    score.false_positive_alerts = match.false_positive_alerts;
+    score.detected_attacks = match.detected_attacks;
 
     score.alerts = alerts.count();
+    score.alert_list = alerts.alerts();
     score.precision = score.alerts == 0
                           ? 1.0
                           : static_cast<double>(score.true_positive_alerts) /
@@ -197,6 +142,7 @@ common::Expected<SchemeScore> Engine::run_impl(const LabeledTrace& trace,
         score.frames_per_second = static_cast<double>(score.frames) / elapsed;
     }
 
+    telemetry::MetricsRegistry& metrics = session.metrics();
     metrics.counter("replay.frames").inc(score.frames);
     metrics.counter("replay.frames.malformed").inc(score.malformed);
     metrics.counter("replay.frames.attack").inc(score.attack_frames);

@@ -44,6 +44,10 @@ struct SchemeScore {
     double wall_seconds = 0.0;
     double frames_per_second = 0.0;
     telemetry::Json metrics = telemetry::Json::object();
+    /// The raw alerts behind the counts above, in emission order. Not part
+    /// of the JSON artifact; arpsec-replay's `--alerts` export and the
+    /// serve<->replay equivalence gate consume them.
+    std::vector<detect::Alert> alert_list;
 
     [[nodiscard]] telemetry::Json to_json() const;
 };

@@ -1,0 +1,34 @@
+#include "replay/score.hpp"
+
+#include <algorithm>
+
+namespace arpsec::replay {
+
+MatchCounts match_alerts(std::vector<common::SimTime> attack_times,
+                         const std::vector<detect::Alert>& alerts, common::Duration window) {
+    using common::SimTime;
+    std::sort(attack_times.begin(), attack_times.end());
+
+    MatchCounts counts;
+    for (const detect::Alert& a : alerts) {
+        const auto it = std::lower_bound(attack_times.begin(), attack_times.end(),
+                                         SimTime{a.at.nanos() - window.count()});
+        if (it != attack_times.end() && *it <= a.at) {
+            ++counts.true_positive_alerts;
+        } else {
+            ++counts.false_positive_alerts;
+        }
+    }
+
+    std::vector<SimTime> alert_times;
+    alert_times.reserve(alerts.size());
+    for (const detect::Alert& a : alerts) alert_times.push_back(a.at);
+    std::sort(alert_times.begin(), alert_times.end());
+    for (const SimTime at : attack_times) {
+        const auto it = std::lower_bound(alert_times.begin(), alert_times.end(), at);
+        if (it != alert_times.end() && *it <= at + window) ++counts.detected_attacks;
+    }
+    return counts;
+}
+
+}  // namespace arpsec::replay

@@ -1,0 +1,51 @@
+#include "serve/alert_stream.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <tuple>
+
+#include "telemetry/json.hpp"
+
+namespace arpsec::serve {
+
+std::string alert_stream_header() {
+    telemetry::Json j = telemetry::Json::object();
+    j["schema"] = std::string{kAlertStreamSchema};
+    return j.dump();
+}
+
+std::string alert_line(const detect::Alert& alert) {
+    // telemetry::Json preserves insertion order, so this fixed sequence of
+    // assignments *is* the canonical byte layout.
+    telemetry::Json j = telemetry::Json::object();
+    j["at_ns"] = alert.at.nanos();
+    j["scheme"] = alert.scheme;
+    j["kind"] = detect::to_string(alert.kind);
+    j["ip"] = alert.ip.to_string();
+    j["claimed_mac"] = alert.claimed_mac.to_string();
+    j["previous_mac"] = alert.previous_mac.to_string();
+    j["detail"] = alert.detail;
+    return j.dump();
+}
+
+void sort_canonical(std::vector<detect::Alert>& alerts) {
+    std::sort(alerts.begin(), alerts.end(), [](const detect::Alert& a, const detect::Alert& b) {
+        return std::make_tuple(a.at.nanos(), a.scheme, static_cast<int>(a.kind),
+                               a.ip.value(), a.claimed_mac.to_string(),
+                               a.previous_mac.to_string(), a.detail) <
+               std::make_tuple(b.at.nanos(), b.scheme, static_cast<int>(b.kind),
+                               b.ip.value(), b.claimed_mac.to_string(),
+                               b.previous_mac.to_string(), b.detail);
+    });
+}
+
+bool write_alert_file(const std::string& path, std::vector<detect::Alert> alerts) {
+    sort_canonical(alerts);
+    std::ofstream out{path, std::ios::trunc};
+    if (!out) return false;
+    out << alert_stream_header() << '\n';
+    for (const detect::Alert& a : alerts) out << alert_line(a) << '\n';
+    return static_cast<bool>(out);
+}
+
+}  // namespace arpsec::serve

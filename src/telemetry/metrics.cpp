@@ -27,6 +27,23 @@ void Histogram::observe(double v) {
     ++count_;
 }
 
+void Histogram::merge(const Histogram& other) {
+    if (other.bounds_ != bounds_) {
+        throw std::logic_error("Histogram: merge requires identical bucket bounds");
+    }
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    sum_ += other.sum_;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        if (other.min_ < min_) min_ = other.min_;
+        if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+}
+
 namespace {
 
 [[noreturn]] void type_collision(const std::string& name, const char* wanted) {

@@ -56,6 +56,12 @@ public:
     [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
     [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
 
+    /// Folds `other` into this histogram. Both must share identical bucket
+    /// bounds (std::logic_error otherwise — mixing scales would corrupt the
+    /// distribution). This is how per-worker histograms, observed without
+    /// locks on their own threads, combine into one series after join.
+    void merge(const Histogram& other);
+
 private:
     std::vector<double> bounds_;        // ascending
     std::vector<std::uint64_t> counts_; // bounds_.size() + 1

@@ -109,6 +109,109 @@ common::Expected<PcapTrace> PcapReader::parse(std::span<const std::uint8_t> data
     return Result{std::move(trace)};
 }
 
+void PcapStreamReader::feed(std::span<const std::uint8_t> data) {
+    bytes_fed_ += data.size();
+    // Reclaim consumed prefix before appending; the threshold keeps the
+    // copy cost amortized O(1) per byte.
+    if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+        base_ += pos_;
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+PcapStreamReader::Status PcapStreamReader::fail(const std::string& error) {
+    failed_ = true;
+    error_ = error;
+    return Status::kError;
+}
+
+PcapStreamReader::Status PcapStreamReader::poll(PcapRecord& out) {
+    if (failed_) return Status::kError;
+    const std::size_t available = buf_.size() - pos_;
+    const std::span<const std::uint8_t> data(buf_.data() + pos_, available);
+
+    if (!header_done_) {
+        if (data.size() < PcapReader::kGlobalHeaderSize) {
+            if (finished_ && !data.empty()) {
+                return fail("pcap: file too short for the 24-byte global header (" +
+                            std::to_string(data.size()) + " bytes)");
+            }
+            return finished_ ? Status::kEnd : Status::kNeedMore;
+        }
+        const std::uint32_t magic = read_u32(data, 0, /*swapped=*/false);
+        switch (magic) {
+            case kMagicMicroLe:
+                break;
+            case kMagicNanoLe:
+                nanosecond_ = true;
+                break;
+            case kMagicMicroBe:
+                big_endian_ = true;
+                break;
+            case kMagicNanoBe:
+                big_endian_ = true;
+                nanosecond_ = true;
+                break;
+            default: {
+                std::ostringstream os;
+                os << "pcap: unrecognized magic 0x" << std::hex << magic;
+                return fail(os.str());
+            }
+        }
+        snaplen_ = read_u32(data, 16, big_endian_);
+        link_type_ = read_u32(data, 20, big_endian_);
+        pos_ += PcapReader::kGlobalHeaderSize;
+        header_done_ = true;
+        return poll(out);
+    }
+
+    if (data.empty()) return finished_ ? Status::kEnd : Status::kNeedMore;
+    if (data.size() < PcapReader::kRecordHeaderSize) {
+        if (finished_) {
+            return fail(fmt_error(
+                "truncated record header in record #" + std::to_string(records_),
+                base_ + pos_));
+        }
+        return Status::kNeedMore;
+    }
+
+    const std::uint32_t ts_sec = read_u32(data, 0, big_endian_);
+    const std::uint32_t ts_frac = read_u32(data, 4, big_endian_);
+    const std::uint32_t incl_len = read_u32(data, 8, big_endian_);
+    const std::uint32_t orig_len = read_u32(data, 12, big_endian_);
+
+    if (incl_len > snaplen_ && incl_len > 0x0004'0000u) {
+        // Same plausibility bound as the batch parser: a corrupt length
+        // field must not make the stream wait forever for phantom bytes.
+        return fail(fmt_error("implausible captured length " + std::to_string(incl_len) +
+                                  " in record #" + std::to_string(records_),
+                              base_ + pos_));
+    }
+    if (data.size() - PcapReader::kRecordHeaderSize < incl_len) {
+        if (finished_) {
+            return fail(fmt_error(
+                "truncated record body in record #" + std::to_string(records_) + " (want " +
+                    std::to_string(incl_len) + " bytes, have " +
+                    std::to_string(data.size() - PcapReader::kRecordHeaderSize) + ")",
+                base_ + pos_ + PcapReader::kRecordHeaderSize));
+        }
+        return Status::kNeedMore;
+    }
+
+    const std::int64_t frac_nanos = nanosecond_ ? static_cast<std::int64_t>(ts_frac)
+                                                : static_cast<std::int64_t>(ts_frac) * 1000;
+    out.at = common::SimTime{static_cast<std::int64_t>(ts_sec) * 1'000'000'000 + frac_nanos};
+    out.orig_len = orig_len;
+    const std::size_t body = pos_ + PcapReader::kRecordHeaderSize;
+    out.bytes.assign(buf_.begin() + static_cast<std::ptrdiff_t>(body),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(body + incl_len));
+    pos_ = body + incl_len;
+    ++records_;
+    return Status::kRecord;
+}
+
 common::Expected<PcapTrace> PcapReader::read_file(const std::string& path) {
     using Result = common::Expected<PcapTrace>;
     std::ifstream in{path, std::ios::binary};

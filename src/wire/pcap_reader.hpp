@@ -47,4 +47,63 @@ public:
     static common::Expected<PcapTrace> read_file(const std::string& path);
 };
 
+/// Incremental classic-pcap parser: feed transport/file chunks of any
+/// size, poll records out as they complete. This is the streaming half of
+/// `PcapReader::parse` — a chunk boundary landing mid-header or mid-body
+/// simply reports `kNeedMore` and resumes when the rest arrives, which is
+/// what a tail -f style capture follower or a socket forwarder needs.
+///
+/// Errors are sticky: pcap has no record-level resync marker, so a corrupt
+/// header (bad magic, implausible captured length) poisons the rest of the
+/// stream and every later poll repeats the typed error. Truncation is only
+/// an error once the caller declares the stream over via `finish()`.
+class PcapStreamReader {
+public:
+    enum class Status {
+        kNeedMore,  ///< No complete record buffered; feed more (or finish()).
+        kRecord,    ///< `out` holds the next record.
+        kEnd,       ///< finish() was called and every buffered byte consumed.
+        kError,     ///< Sticky parse failure; `last_error()` says why.
+    };
+
+    /// Appends capture bytes to the reassembly buffer.
+    void feed(std::span<const std::uint8_t> data);
+
+    /// Declares end-of-stream: leftover bytes become a truncation error.
+    void finish() { finished_ = true; }
+
+    /// Extracts the next record, if a complete one is buffered.
+    Status poll(PcapRecord& out);
+
+    /// Global-header fields; meaningful once `header_ready()`.
+    [[nodiscard]] bool header_ready() const { return header_done_; }
+    [[nodiscard]] std::uint32_t link_type() const { return link_type_; }
+    [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
+    [[nodiscard]] bool nanosecond() const { return nanosecond_; }
+    [[nodiscard]] bool big_endian() const { return big_endian_; }
+
+    [[nodiscard]] const std::string& last_error() const { return error_; }
+    [[nodiscard]] std::uint64_t records() const { return records_; }
+    [[nodiscard]] std::uint64_t bytes_fed() const { return bytes_fed_; }
+    /// Bytes buffered but not yet consumed by a poll.
+    [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+private:
+    Status fail(const std::string& error);
+
+    Bytes buf_;
+    std::size_t pos_ = 0;       // consumed prefix of buf_
+    std::uint64_t base_ = 0;    // stream offset of buf_[0] (errors use absolute offsets)
+    bool header_done_ = false;
+    bool finished_ = false;
+    bool failed_ = false;
+    std::uint32_t link_type_ = 1;
+    std::uint32_t snaplen_ = 65535;
+    bool nanosecond_ = false;
+    bool big_endian_ = false;
+    std::string error_;
+    std::uint64_t records_ = 0;
+    std::uint64_t bytes_fed_ = 0;
+};
+
 }  // namespace arpsec::wire

@@ -23,6 +23,7 @@
 #include "l2/switch.hpp"
 #include "sim/network.hpp"
 #include "wire/pcap_reader.hpp"
+#include "wire/stream_codec.hpp"
 
 namespace arpsec {
 namespace {
@@ -316,6 +317,158 @@ TEST_P(LexerFuzzTest, SurvivesTruncationAtEveryLength) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LexerFuzzTest, ::testing::Values(1, 42, 777, 31337));
+
+// ---------------------------------------------------------------------------
+// Stream codec fuzz: arpsec-served decodes `arpsec.stream.v1` records from
+// whatever a client puts on the socket, so the decoder gets the same
+// adversarial corpus as the wire parsers. Invariants: never crash, never
+// read past the input (ASan/UBSan enforce), bad bodies are skipped with
+// typed errors, and only a corrupt length prefix latches fatal.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A fully valid conversation: HELLO, DIRECTORY, FuzzerNode frames, an
+/// alert/summary pair (the server->client direction), and END.
+Bytes fuzzed_stream(common::Rng& rng, std::size_t frames) {
+    FuzzerNode::Options opts;
+    opts.target = MacAddress::local(10);
+    Bytes out;
+    wire::StreamHello hello;
+    hello.seed = rng.next_u64() | 1;
+    wire::encode_hello(out, hello);
+    std::vector<wire::StreamHostEntry> entries;
+    entries.push_back({"h0", Ipv4Address{192, 168, 1, 1}, MacAddress::local(1)});
+    entries.push_back({"h1", Ipv4Address{192, 168, 1, 2}, MacAddress::local(2)});
+    wire::encode_directory(out, entries);
+    for (std::size_t i = 0; i < frames; ++i) {
+        const Bytes frame = FuzzerNode::generate_frame(rng, opts).serialize();
+        wire::encode_frame(out, i * 1000,
+                           std::span<const std::uint8_t>{frame.data(), frame.size()});
+    }
+    wire::encode_alert(out, "{\"at_ns\":1,\"scheme\":\"arpwatch\"}");
+    wire::encode_summary(out, "{\"schema\":\"arpsec.serve-summary.v1\"}");
+    wire::encode_end(out);
+    return out;
+}
+
+/// Drains the decoder, asserting the typed-error contract on every status.
+/// Returns the number of good records.
+std::uint64_t drain_stream_decoder(wire::StreamDecoder& decoder) {
+    wire::StreamRecord rec;
+    std::uint64_t records = 0;
+    for (;;) {
+        const auto st = decoder.poll(rec);
+        if (st == wire::StreamDecoder::Status::kNeedMore) break;
+        if (st == wire::StreamDecoder::Status::kRecord) {
+            ++records;
+            continue;
+        }
+        EXPECT_FALSE(decoder.last_error().empty());
+        if (st == wire::StreamDecoder::Status::kFatal) {
+            EXPECT_TRUE(decoder.fatal());
+            break;
+        }
+    }
+    return records;
+}
+
+}  // namespace
+
+class StreamCodecFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamCodecFuzzTest, DecodesWellFormedFuzzedStreams) {
+    common::Rng rng(GetParam());
+    const Bytes data = fuzzed_stream(rng, 40);
+    wire::StreamDecoder decoder;
+    decoder.feed(data);
+    // hello + directory + 40 frames + alert + summary + end
+    EXPECT_EQ(drain_stream_decoder(decoder), 45u);
+    EXPECT_FALSE(decoder.fatal());
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST_P(StreamCodecFuzzTest, ChunkSizeNeverChangesTheRecords) {
+    // Transport chunking is arbitrary; any slicing of the byte stream must
+    // reassemble to the same record sequence.
+    common::Rng rng(GetParam() ^ 0xC4A7);
+    const Bytes data = fuzzed_stream(rng, 20);
+    wire::StreamDecoder decoder;
+    std::uint64_t records = 0;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + rng.next_below(97), data.size() - pos);
+        decoder.feed(std::span<const std::uint8_t>{data.data() + pos, chunk});
+        pos += chunk;
+        records += drain_stream_decoder(decoder);
+    }
+    EXPECT_EQ(records, 25u);
+    EXPECT_FALSE(decoder.fatal());
+}
+
+TEST_P(StreamCodecFuzzTest, SurvivesTruncationAtEveryLength) {
+    // Every prefix of a valid stream decodes some whole records and then
+    // reports kNeedMore — truncation is never a crash or a fatal.
+    common::Rng rng(GetParam() ^ 0x7137);
+    const Bytes data = fuzzed_stream(rng, 6);
+    for (std::size_t len = 0; len <= data.size(); ++len) {
+        wire::StreamDecoder decoder;
+        decoder.feed(std::span<const std::uint8_t>{data.data(), len});
+        (void)drain_stream_decoder(decoder);
+        EXPECT_FALSE(decoder.fatal()) << "length " << len;
+    }
+}
+
+TEST_P(StreamCodecFuzzTest, SurvivesByteMutations) {
+    common::Rng rng(GetParam() ^ 0xBEEF);
+    const Bytes data = fuzzed_stream(rng, 12);
+    for (int round = 0; round < 200; ++round) {
+        Bytes mutated = data;
+        const std::size_t flips = 1 + rng.next_below(8);
+        for (std::size_t i = 0; i < flips; ++i) {
+            mutated[rng.next_below(mutated.size())] =
+                static_cast<std::uint8_t>(rng.next_u64());
+        }
+        wire::StreamDecoder decoder;
+        decoder.feed(mutated);
+        (void)drain_stream_decoder(decoder);
+    }
+}
+
+TEST_P(StreamCodecFuzzTest, OversizedLengthPrefixLatchesFatal) {
+    common::Rng rng(GetParam() ^ 0x0F5E);
+    Bytes data = fuzzed_stream(rng, 3);
+    // A length prefix beyond kMaxRecordBytes means framing is gone.
+    const std::uint32_t huge = wire::StreamDecoder::kMaxRecordBytes + 1 +
+                               static_cast<std::uint32_t>(rng.next_below(1 << 20));
+    data.push_back(static_cast<std::uint8_t>(huge >> 24));
+    data.push_back(static_cast<std::uint8_t>(huge >> 16));
+    data.push_back(static_cast<std::uint8_t>(huge >> 8));
+    data.push_back(static_cast<std::uint8_t>(huge));
+    wire::StreamDecoder decoder;
+    decoder.feed(data);
+    EXPECT_EQ(drain_stream_decoder(decoder), 8u);
+    EXPECT_TRUE(decoder.fatal());
+    // Fatal is latched: more bytes never resurrect the stream.
+    decoder.feed(data);
+    wire::StreamRecord rec;
+    EXPECT_EQ(decoder.poll(rec), wire::StreamDecoder::Status::kFatal);
+}
+
+TEST_P(StreamCodecFuzzTest, SurvivesPureGarbage) {
+    common::Rng rng(GetParam() ^ 0x6A6A);
+    for (int round = 0; round < 100; ++round) {
+        Bytes garbage(rng.next_below(512));
+        for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+        wire::StreamDecoder decoder;
+        decoder.feed(garbage);
+        (void)drain_stream_decoder(decoder);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamCodecFuzzTest,
+                         ::testing::Values(1, 42, 777, 31337));
 
 }  // namespace
 }  // namespace arpsec

@@ -140,6 +140,65 @@ TEST(LintNoThreadsTest, IgnoresProseAndLookalikes) {
                     .empty());
 }
 
+TEST(LintNoThreadsTest, AllowsServeWorkers) {
+    // The serving shards and their drain thread are a sanctioned
+    // concurrency site, like the sweep executor and replay pipeline.
+    EXPECT_TRUE(run("src/serve/shard.cpp",
+                    "#include <thread>\n"
+                    "#include <atomic>\n"
+                    "std::thread t{work};\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-sockets-outside-serve
+// ---------------------------------------------------------------------------
+
+TEST(LintNoSocketsTest, FlagsSocketHeadersOutsideServe) {
+    const auto vs = run("src/sim/bad.cpp", "#include <sys/socket.h>\n");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].rule, "no-sockets-outside-serve");
+    EXPECT_EQ(vs[0].line, 1u);
+    EXPECT_TRUE(has_rule(run("src/wire/bad.cpp", "#include <netinet/in.h>\n"),
+                         "no-sockets-outside-serve"));
+    EXPECT_TRUE(has_rule(run("src/replay/bad.cpp", "#include <arpa/inet.h>\n"),
+                         "no-sockets-outside-serve"));
+    EXPECT_TRUE(has_rule(run("src/detect/bad.cpp", "#include <netdb.h>\n"),
+                         "no-sockets-outside-serve"));
+}
+
+TEST(LintNoSocketsTest, AllowsServeTransport) {
+    EXPECT_TRUE(run("src/serve/transport.cpp",
+                    "#include <sys/socket.h>\n"
+                    "#include <sys/un.h>\n"
+                    "#include <netinet/in.h>\n"
+                    "#include <netinet/tcp.h>\n"
+                    "#include <arpa/inet.h>\n")
+                    .empty());
+}
+
+TEST(LintNoSocketsTest, IgnoresProse) {
+    EXPECT_TRUE(run("src/sim/ok.cpp",
+                    "// real traffic goes through <sys/socket.h> in serve/\n"
+                    "int x = 1;\n")
+                    .empty());
+}
+
+TEST(LintLayeringTest, ServeMayIncludeReplayButNotViceVersa) {
+    // serve sits at the top of the stack: it may pull in replay sessions,
+    // but nothing below may reach back up into serve/.
+    EXPECT_TRUE(run("src/serve/server.cpp",
+                    "#include \"replay/session.hpp\"\n"
+                    "#include \"detect/registry.hpp\"\n")
+                    .empty());
+    EXPECT_TRUE(has_rule(run("src/replay/engine.cpp",
+                             "#include \"serve/server.hpp\"\n"),
+                         "include-layering"));
+    EXPECT_TRUE(has_rule(run("src/sim/net.cpp",
+                             "#include \"serve/transport.hpp\"\n"),
+                         "include-layering"));
+}
+
 // ---------------------------------------------------------------------------
 // discarded-expected
 // ---------------------------------------------------------------------------
@@ -403,7 +462,7 @@ TEST(LintReportTest, CleanFileProducesNoViolations) {
 
 TEST(LintReportTest, CatalogCoversEveryEmittedRule) {
     const auto& catalog = rule_catalog();
-    EXPECT_EQ(catalog.size(), 12u);
+    EXPECT_EQ(catalog.size(), 13u);
     // Three deliberately terrible fixtures: one in src/wire/ (where the
     // parser and bounds rules apply), one in src/common/ (where lock
     // discipline applies), and one in src/host/ (where the frame-copy rule
@@ -416,6 +475,7 @@ TEST(LintReportTest, CatalogCoversEveryEmittedRule) {
     add("src/wire/bad.hpp",
         "#include \"core/runner.hpp\"\n"
         "#include <thread>\n"
+        "#include <sys/socket.h>\n"
         "auto t = std::chrono::system_clock::now();\n"
         "auto* p = new int;\n"
         "assert(true);\n"

@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "common/version.hpp"
+#include "detect/arpwatch.hpp"
 #include "detect/registry.hpp"
 #include "replay/engine.hpp"
+#include "replay/session.hpp"
 #include "replay/source.hpp"
 #include "replay/trace.hpp"
 
@@ -271,6 +273,74 @@ TEST(EngineTest, NonMonotoneCaptureOrderStillScoresByTimestamp) {
     // Only the 1000 ms attack has an alert inside its window.
     EXPECT_EQ(score->detected_attacks, 1u);
     EXPECT_EQ(score->recall, 0.5);
+}
+
+TEST(SchemeSessionTest, ArpwatchSnapshotRestoreRoundTrip) {
+    using common::Duration;
+    using common::SimTime;
+
+    const wire::MacAddress mac_a = wire::MacAddress::local(1);
+    const wire::MacAddress mac_b = wire::MacAddress::local(2);
+    const wire::Ipv4Address ip{10, 0, 0, 1};
+
+    auto announce = [](wire::MacAddress mac, wire::Ipv4Address a_ip) {
+        wire::EthernetFrame f;
+        f.dst = wire::MacAddress::broadcast();
+        f.src = mac;
+        f.ether_type = wire::EtherType::kArp;
+        f.payload = wire::ArpPacket::gratuitous(mac, a_ip, /*as_reply=*/false).serialize();
+        return f.serialize();
+    };
+    auto view_of = [](const wire::Bytes& bytes) {
+        wire::FrameView v{wire::FrameBuffer::capture(std::span<const std::uint8_t>(bytes))};
+        v.prime();
+        return v;
+    };
+
+    // First life: learn ip -> A, then see the change to B (one alert).
+    telemetry::Json snapshot;
+    {
+        SchemeSession session{std::make_unique<detect::ArpwatchScheme>(), SessionOptions{}};
+        const wire::Bytes f1 = announce(mac_a, ip);
+        const wire::Bytes f2 = announce(mac_b, ip);
+        session.feed(SimTime{} + Duration::millis(5), view_of(f1));
+        session.feed(SimTime{} + Duration::millis(100), view_of(f2));
+        EXPECT_EQ(session.alerts().count(), 1u);
+        snapshot = session.scheme().snapshot_state();
+    }
+    // The snapshot is a plain JSON document and survives dump/parse — the
+    // shape it takes inside arpsec.serve-snapshot.v1.
+    const auto reparsed = telemetry::Json::parse(snapshot.dump(2));
+    ASSERT_TRUE(reparsed.has_value());
+
+    // Second life, restored: A reappearing within the flip-flop window is
+    // recognized as an oscillation back to the *remembered* previous MAC —
+    // proof that mac, previous_mac, and last_change all survived.
+    {
+        SchemeSession session{std::make_unique<detect::ArpwatchScheme>(), SessionOptions{}};
+        session.scheme().restore_state(*reparsed);
+        const wire::Bytes f3 = announce(mac_a, ip);
+        session.feed(SimTime{} + Duration::millis(200), view_of(f3));
+        ASSERT_EQ(session.alerts().count(), 1u);
+        const detect::Alert& a = session.alerts().alerts()[0];
+        EXPECT_EQ(a.kind, detect::AlertKind::kFlipFlop);
+        EXPECT_EQ(a.previous_mac, mac_b);
+        EXPECT_EQ(a.claimed_mac, mac_a);
+    }
+
+    // Control: the same frame into a *fresh* session is just a new station.
+    {
+        SchemeSession session{std::make_unique<detect::ArpwatchScheme>(), SessionOptions{}};
+        const wire::Bytes f3 = announce(mac_a, ip);
+        session.feed(SimTime{} + Duration::millis(200), view_of(f3));
+        EXPECT_EQ(session.alerts().count(), 0u);
+    }
+
+    // Stateless schemes return an empty object and ignore restores.
+    detect::NullScheme none;
+    EXPECT_TRUE(none.snapshot_state().is_object());
+    EXPECT_EQ(none.snapshot_state().size(), 0u);
+    none.restore_state(*reparsed);
 }
 
 TEST(EngineTest, RunAllIsIdenticalForAnyJobsValue) {

@@ -162,6 +162,43 @@ TEST(MetricsRegistryTest, HistogramBucketBoundariesAreUpperInclusive) {
     EXPECT_DOUBLE_EQ(h.max(), 9.0);
 }
 
+TEST(MetricsRegistryTest, HistogramMergeFoldsBucketsAndExtremes) {
+    telemetry::Histogram a({1.0, 2.0});
+    a.observe(0.5);
+    a.observe(9.0);
+    telemetry::Histogram b({1.0, 2.0});
+    b.observe(1.5);
+    b.observe(0.1);
+    a.merge(b);
+    ASSERT_EQ(a.bucket_counts().size(), 3u);
+    EXPECT_EQ(a.bucket_counts()[0], 2u);
+    EXPECT_EQ(a.bucket_counts()[1], 1u);
+    EXPECT_EQ(a.bucket_counts()[2], 1u);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.sum(), 11.1);
+    EXPECT_DOUBLE_EQ(a.min(), 0.1);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+
+    // Merging an empty histogram is a no-op, including into an empty one.
+    telemetry::Histogram empty({1.0, 2.0});
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 4u);
+    telemetry::Histogram target({1.0, 2.0});
+    target.merge(empty);
+    EXPECT_EQ(target.count(), 0u);
+    EXPECT_DOUBLE_EQ(target.min(), 0.0);
+    // An empty target adopts the source's extremes rather than its zeros.
+    target.merge(a);
+    EXPECT_DOUBLE_EQ(target.min(), 0.1);
+    EXPECT_DOUBLE_EQ(target.max(), 9.0);
+}
+
+TEST(MetricsRegistryTest, HistogramMergeRejectsMismatchedBounds) {
+    telemetry::Histogram a({1.0, 2.0});
+    telemetry::Histogram b({1.0, 3.0});
+    EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
 TEST(MetricsRegistryTest, GaugeTracksHighWater) {
     telemetry::MetricsRegistry reg;
     telemetry::Gauge& g = reg.gauge("depth");

@@ -18,6 +18,7 @@
 #include "wire/mac_address.hpp"
 #include "wire/pcap_reader.hpp"
 #include "wire/pcap_writer.hpp"
+#include "wire/stream_codec.hpp"
 #include "wire/tcp_segment.hpp"
 #include "wire/udp_datagram.hpp"
 
@@ -1016,6 +1017,269 @@ TEST(PcapReaderTest, MissingFileIsATypedError) {
     const auto trace = PcapReader::read_file("/nonexistent/arpsec.pcap");
     ASSERT_FALSE(trace.ok());
     EXPECT_NE(trace.error().find("cannot open"), std::string::npos) << trace.error();
+}
+
+// ---------------------------------------------------------------------------
+// PcapStreamReader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A two-record little-endian capture built by the repo's own writer.
+Bytes two_record_capture() {
+    const std::string path = ::testing::TempDir() + "/arpsec_stream_fixture.pcap";
+    {
+        PcapWriter w(path);
+        w.write(common::SimTime{1'000'000'000}, Bytes(60, 0x11));
+        w.write(common::SimTime{2'000'000'000}, Bytes(42, 0x22));
+    }
+    Bytes data = read_all(path);
+    std::remove(path.c_str());
+    return data;
+}
+
+}  // namespace
+
+TEST(PcapStreamReaderTest, SingleFeedMatchesBatchParser) {
+    const Bytes data = two_record_capture();
+    const auto batch = PcapReader::parse(data);
+    ASSERT_TRUE(batch.ok()) << batch.error();
+
+    PcapStreamReader r;
+    r.feed(data);
+    r.finish();
+    std::vector<PcapRecord> records;
+    PcapRecord rec;
+    while (r.poll(rec) == PcapStreamReader::Status::kRecord) records.push_back(rec);
+    EXPECT_EQ(r.poll(rec), PcapStreamReader::Status::kEnd);
+
+    EXPECT_TRUE(r.header_ready());
+    EXPECT_EQ(r.link_type(), batch->link_type);
+    EXPECT_EQ(r.snaplen(), batch->snaplen);
+    ASSERT_EQ(records.size(), batch->records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].bytes, batch->records[i].bytes) << "record " << i;
+        EXPECT_EQ(records[i].at.nanos(), batch->records[i].at.nanos()) << "record " << i;
+        EXPECT_EQ(records[i].orig_len, batch->records[i].orig_len) << "record " << i;
+    }
+}
+
+TEST(PcapStreamReaderTest, ByteAtATimeFeedResumesMidRecord) {
+    const Bytes data = two_record_capture();
+    // The chunk boundary lands inside the global header, inside each record
+    // header, and inside each body — every one must report kNeedMore, then
+    // resume cleanly when the next byte arrives.
+    PcapStreamReader r;
+    std::vector<PcapRecord> records;
+    for (const std::uint8_t b : data) {
+        r.feed(std::span<const std::uint8_t>(&b, 1));
+        PcapRecord rec;
+        for (;;) {
+            const auto s = r.poll(rec);
+            if (s == PcapStreamReader::Status::kRecord) {
+                records.push_back(rec);
+                continue;
+            }
+            ASSERT_EQ(s, PcapStreamReader::Status::kNeedMore) << r.last_error();
+            break;
+        }
+    }
+    r.finish();
+    PcapRecord rec;
+    EXPECT_EQ(r.poll(rec), PcapStreamReader::Status::kEnd);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].bytes, Bytes(60, 0x11));
+    EXPECT_EQ(records[1].bytes, Bytes(42, 0x22));
+    EXPECT_EQ(r.records(), 2u);
+    EXPECT_EQ(r.bytes_fed(), data.size());
+    EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST(PcapStreamReaderTest, TruncationIsOnlyAnErrorAfterFinish) {
+    const Bytes data = two_record_capture();
+    // Clip mid-body of the final record: an open stream just waits...
+    Bytes clipped{data.begin(), data.end() - 10};
+    PcapStreamReader r;
+    r.feed(clipped);
+    PcapRecord rec;
+    ASSERT_EQ(r.poll(rec), PcapStreamReader::Status::kRecord);
+    EXPECT_EQ(r.poll(rec), PcapStreamReader::Status::kNeedMore);
+    // ...and the record completes when the tail finally arrives.
+    r.feed(std::span<const std::uint8_t>(data.data() + data.size() - 10, 10));
+    ASSERT_EQ(r.poll(rec), PcapStreamReader::Status::kRecord);
+    EXPECT_EQ(rec.bytes, Bytes(42, 0x22));
+
+    // The same clip with finish() declared is a typed truncation error.
+    PcapStreamReader r2;
+    r2.feed(clipped);
+    r2.finish();
+    ASSERT_EQ(r2.poll(rec), PcapStreamReader::Status::kRecord);
+    EXPECT_EQ(r2.poll(rec), PcapStreamReader::Status::kError);
+    EXPECT_NE(r2.last_error().find("truncated record body"), std::string::npos)
+        << r2.last_error();
+    EXPECT_NE(r2.last_error().find("#1"), std::string::npos) << r2.last_error();
+    // Errors are sticky.
+    EXPECT_EQ(r2.poll(rec), PcapStreamReader::Status::kError);
+}
+
+TEST(PcapStreamReaderTest, BadMagicAndBadLengthAreStickyErrors) {
+    PcapStreamReader r;
+    Bytes junk(24, 0x00);
+    junk[0] = 0x13;
+    r.feed(junk);
+    PcapRecord rec;
+    EXPECT_EQ(r.poll(rec), PcapStreamReader::Status::kError);
+    EXPECT_NE(r.last_error().find("magic"), std::string::npos) << r.last_error();
+
+    // An implausible captured length poisons the stream at the same bound
+    // the batch parser uses.
+    Bytes data = two_record_capture();
+    data[24 + 8] = 0xff;  // incl_len low byte (LE) of record #0
+    data[24 + 9] = 0xff;
+    data[24 + 10] = 0xff;
+    PcapStreamReader r2;
+    r2.feed(data);
+    EXPECT_EQ(r2.poll(rec), PcapStreamReader::Status::kError);
+    EXPECT_NE(r2.last_error().find("implausible captured length"), std::string::npos)
+        << r2.last_error();
+}
+
+TEST(PcapStreamReaderTest, ParsesBigEndianNanosecondStream) {
+    const Bytes data = big_endian_fixture(/*nanosecond=*/true);
+    PcapStreamReader r;
+    // Split inside the record header to exercise the swapped decode path
+    // across a resume boundary.
+    r.feed(std::span<const std::uint8_t>(data.data(), 30));
+    PcapRecord rec;
+    EXPECT_EQ(r.poll(rec), PcapStreamReader::Status::kNeedMore);
+    EXPECT_TRUE(r.header_ready());
+    EXPECT_TRUE(r.big_endian());
+    EXPECT_TRUE(r.nanosecond());
+    r.feed(std::span<const std::uint8_t>(data.data() + 30, data.size() - 30));
+    ASSERT_EQ(r.poll(rec), PcapStreamReader::Status::kRecord);
+    EXPECT_EQ(rec.at.nanos(), 7'000'000'500);
+    EXPECT_EQ(rec.bytes, (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+// ---------------------------------------------------------------------------
+// arpsec.stream.v1 codec
+// ---------------------------------------------------------------------------
+
+TEST(StreamCodecTest, RoundTripsEveryRecordType) {
+    Bytes buf;
+    StreamHello hello;
+    hello.seed = 42;
+    encode_hello(buf, hello);
+    std::vector<StreamHostEntry> dir;
+    dir.push_back({"alice", Ipv4Address{192, 168, 1, 10}, MacAddress::local(0x0a)});
+    dir.push_back({"bob", Ipv4Address{192, 168, 1, 11}, MacAddress::local(0x0b)});
+    encode_directory(buf, dir);
+    const Bytes frame_bytes(64, 0xab);
+    encode_frame(buf, 123'456'789u, frame_bytes);
+    encode_alert(buf, "{\"kind\":\"spoof\"}");
+    encode_summary(buf, "{\"frames\":1}");
+    encode_end(buf);
+
+    StreamDecoder d;
+    d.feed(buf);
+    StreamRecord rec;
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kRecord);
+    ASSERT_EQ(rec.type, StreamRecordType::kHello);
+    EXPECT_EQ(rec.hello.version, 1u);
+    EXPECT_EQ(rec.hello.seed, 42u);
+
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kRecord);
+    ASSERT_EQ(rec.type, StreamRecordType::kDirectory);
+    ASSERT_EQ(rec.directory.size(), 2u);
+    EXPECT_EQ(rec.directory[0].name, "alice");
+    EXPECT_EQ(rec.directory[0].ip, (Ipv4Address{192, 168, 1, 10}));
+    EXPECT_EQ(rec.directory[1].mac, MacAddress::local(0x0b));
+
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kRecord);
+    ASSERT_EQ(rec.type, StreamRecordType::kFrame);
+    EXPECT_EQ(rec.frame.at_nanos, 123'456'789u);
+    EXPECT_EQ(rec.frame.bytes, frame_bytes);
+
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kRecord);
+    ASSERT_EQ(rec.type, StreamRecordType::kAlert);
+    EXPECT_EQ(rec.text, "{\"kind\":\"spoof\"}");
+
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kRecord);
+    ASSERT_EQ(rec.type, StreamRecordType::kSummary);
+    EXPECT_EQ(rec.text, "{\"frames\":1}");
+
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kRecord);
+    EXPECT_EQ(rec.type, StreamRecordType::kEnd);
+    EXPECT_EQ(d.poll(rec), StreamDecoder::Status::kNeedMore);
+    EXPECT_EQ(d.records(), 6u);
+    EXPECT_EQ(d.bad_records(), 0u);
+}
+
+TEST(StreamCodecTest, ByteAtATimeFeedYieldsTheSameRecords) {
+    Bytes buf;
+    encode_hello(buf, StreamHello{});
+    encode_frame(buf, 7u, Bytes(30, 0x01));
+    encode_end(buf);
+
+    StreamDecoder d;
+    std::size_t got = 0;
+    StreamRecord rec;
+    for (const std::uint8_t b : buf) {
+        d.feed(std::span<const std::uint8_t>(&b, 1));
+        while (d.poll(rec) == StreamDecoder::Status::kRecord) ++got;
+    }
+    EXPECT_EQ(got, 3u);
+    EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(StreamCodecTest, BadRecordIsSkippedAndDecodingResumes) {
+    Bytes buf;
+    encode_hello(buf, StreamHello{});
+    const std::size_t hello_end = buf.size();
+    encode_frame(buf, 7u, Bytes(30, 0x01));
+    encode_end(buf);
+    // Corrupt the frame record's inner length field (not the framing
+    // prefix): the record is skipped with a typed error, and the end
+    // record after it still decodes.
+    buf[hello_end + 4 + 1 + 8] ^= 0xff;
+
+    StreamDecoder d;
+    d.feed(buf);
+    StreamRecord rec;
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kRecord);
+    EXPECT_EQ(rec.type, StreamRecordType::kHello);
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kBadRecord);
+    EXPECT_NE(d.last_error().find("frame length"), std::string::npos) << d.last_error();
+    ASSERT_EQ(d.poll(rec), StreamDecoder::Status::kRecord);
+    EXPECT_EQ(rec.type, StreamRecordType::kEnd);
+    EXPECT_EQ(d.bad_records(), 1u);
+}
+
+TEST(StreamCodecTest, OversizedLengthPrefixIsFatal) {
+    StreamDecoder d;
+    Bytes buf;
+    ByteWriter w{buf};
+    w.u32(StreamDecoder::kMaxRecordBytes + 1);
+    d.feed(buf);
+    StreamRecord rec;
+    EXPECT_EQ(d.poll(rec), StreamDecoder::Status::kFatal);
+    EXPECT_TRUE(d.fatal());
+    EXPECT_NE(d.last_error().find("length prefix"), std::string::npos) << d.last_error();
+    // Fatal is terminal: more bytes never revive the stream.
+    d.feed(buf);
+    EXPECT_EQ(d.poll(rec), StreamDecoder::Status::kFatal);
+}
+
+TEST(StreamCodecTest, BadHelloIsTypedNotFatal) {
+    Bytes buf;
+    encode_hello(buf, StreamHello{});
+    buf[4 + 1] ^= 0xff;  // corrupt the magic inside the body
+    StreamDecoder d;
+    d.feed(buf);
+    StreamRecord rec;
+    EXPECT_EQ(d.poll(rec), StreamDecoder::Status::kBadRecord);
+    EXPECT_NE(d.last_error().find("hello magic"), std::string::npos) << d.last_error();
+    EXPECT_FALSE(d.fatal());
 }
 
 }  // namespace

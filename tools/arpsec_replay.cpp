@@ -28,6 +28,7 @@
 #include "detect/registry.hpp"
 #include "replay/engine.hpp"
 #include "replay/source.hpp"
+#include "serve/alert_stream.hpp"
 #include "telemetry/metrics.hpp"
 #include "wire/frame.hpp"
 
@@ -38,7 +39,7 @@ int usage(const char* argv0) {
         stderr,
         "usage: %s --pcap PATH [--labels PATH] [--schemes a,b,...] [--jobs J]\n"
         "          [--pipeline N] [--batch B] [--out PATH] [--window-ms MS]\n"
-        "          [--grace-ms MS] [--no-timing]\n"
+        "          [--grace-ms MS] [--no-timing] [--alerts PATH]\n"
         "  --pcap PATH     trace to replay (classic pcap)\n"
         "  --labels PATH   ground-truth sidecar (default: <pcap>.labels.json)\n"
         "  --schemes LIST  comma-separated scheme pool (default: all registered)\n"
@@ -50,6 +51,8 @@ int usage(const char* argv0) {
         "  --window-ms MS  alert<->attack matching window (default 1000)\n"
         "  --grace-ms MS   virtual time appended after the last frame (default 2000)\n"
         "  --no-timing     suppress wall-clock columns (deterministic output)\n"
+        "  --alerts PATH   write every alert as canonical arpsec.alert-stream.v1\n"
+        "                  JSONL (the serve<->replay equivalence artifact)\n"
         "  --version       print the build's git describe string and exit\n",
         argv0);
     return 2;
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
     std::string pcap_path;
     std::string labels_path;
     std::string out_path;
+    std::string alerts_path;
     std::vector<std::string> schemes;
     std::size_t jobs = 1;
     arpsec::replay::EngineOptions engine_opts;
@@ -116,6 +120,10 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage(argv[0]);
             engine_opts.grace = arpsec::common::Duration::millis(std::strtoll(v, nullptr, 10));
+        } else if (arg == "--alerts") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            alerts_path = v;
         } else if (arg == "--no-timing") {
             engine_opts.timing = false;
         } else if (arg == "--version") {
@@ -192,6 +200,17 @@ int main(int argc, char** argv) {
                                           : std::string{"n/a"}});
     }
     table.print();
+
+    if (!alerts_path.empty()) {
+        std::vector<arpsec::detect::Alert> all_alerts;
+        for (const auto& s : scores) {
+            all_alerts.insert(all_alerts.end(), s.alert_list.begin(), s.alert_list.end());
+        }
+        if (!arpsec::serve::write_alert_file(alerts_path, std::move(all_alerts))) {
+            std::fprintf(stderr, "arpsec-replay: cannot write %s\n", alerts_path.c_str());
+            return 2;
+        }
+    }
 
     if (!out_path.empty()) {
         const auto artifact =
